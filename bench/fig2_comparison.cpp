@@ -1,0 +1,89 @@
+// Figure 2(a-e) reproduction: Lemur vs Optimal / HW Preferred /
+// SW Preferred / Minimum Bounce / Greedy over the canonical chain sets
+// ({1,2,3,4} and all 3-subsets) and the delta sweep (0.5..4.0 step 0.5).
+//
+// Per (chain set, delta, strategy) the harness reports feasibility, the
+// Placer-predicted aggregate throughput (the paper's diamond marker) and
+// — for feasible placements — the measured aggregate from executing the
+// generated configuration on the simulated testbed (the paper's bars).
+// The aggregate t_min (the hashed rectangle) is printed per delta.
+#include "bench/common.h"
+
+namespace {
+
+using namespace lemur;
+using bench::ExperimentRow;
+
+void run_figure(const char* figure, const std::vector<int>& combo) {
+  const topo::Topology topo = topo::Topology::lemur_testbed();
+  placer::PlacerOptions options;
+
+  bench::print_header(std::string("Figure 2") + figure + " — chains {" +
+                      [&] {
+                        std::string s;
+                        for (int n : combo) {
+                          s += (s.empty() ? "" : ",") + std::to_string(n);
+                        }
+                        return s;
+                      }());
+  std::printf("%-6s %-8s", "delta", "t_min");
+  for (auto strategy : bench::comparison_strategies()) {
+    std::printf(" %13s", placer::to_string(strategy));
+  }
+  std::printf(" %13s\n", "Lemur-meas");
+
+  int feasible_sets = 0;
+  std::vector<int> feasible_count(bench::comparison_strategies().size(), 0);
+  for (double delta = 0.5; delta <= 4.01; delta += 0.5) {
+    auto chains = bench::chain_set(combo, delta, topo, options);
+    std::printf("%-6.1f", delta);
+    double measured = -1;
+    bool any_feasible = false;
+    std::vector<ExperimentRow> rows;
+    for (auto strategy : bench::comparison_strategies()) {
+      // Only the Lemur row is executed on the testbed (predictions track
+      // measurements; the e2e tests cover the other strategies).
+      const bool execute = strategy == placer::Strategy::kLemur;
+      auto row = bench::run_strategy(strategy, chains, topo, options,
+                                     execute, 5.0);
+      if (row.feasible) any_feasible = true;
+      if (execute) measured = row.measured_gbps;
+      rows.push_back(std::move(row));
+    }
+    std::printf(" %-8.2f", rows[0].t_min_gbps);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::printf(" %13s",
+                  bench::cell(rows[i].predicted_gbps, rows[i].feasible)
+                      .c_str());
+      if (rows[i].feasible && any_feasible) ++feasible_count[i];
+    }
+    std::printf(" %13s\n", bench::cell(measured, measured >= 0).c_str());
+    if (any_feasible) ++feasible_sets;
+  }
+  std::printf("feasible-in-%d-solvable-sets:", feasible_sets);
+  for (std::size_t i = 0; i < feasible_count.size(); ++i) {
+    std::printf(" %s=%d/%d",
+                placer::to_string(bench::comparison_strategies()[i]),
+                feasible_count[i], feasible_sets);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Lemur reproduction — Figure 2: performance comparison of "
+              "alternative schemes\n");
+  run_figure("a", {1, 2, 3, 4});
+  run_figure("b", {1, 2, 3});
+  run_figure("c", {1, 2, 4});
+  run_figure("d", {1, 3, 4});
+  run_figure("e", {2, 3, 4});
+  std::printf(
+      "\nExpected shape (paper section 5.2): Lemur feasible in every "
+      "solvable set;\nOptimal matches Lemur; HW Preferred flat and failing "
+      "at high delta;\nSW Preferred only at low delta; Min Bounce failing "
+      "beyond ~1.0; Greedy strong\nbut below Lemur; measured tracks "
+      "predicted.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// "The stability of profiled cycle costs" (section 5.2): reduce the
+// profiled costs by 1-10% (mimicking profiling error) and execute the
+// resulting configuration on the testbed *under the same offered load*
+// as the error-free baseline. The paper found the deployed configuration
+// achieves the same aggregate marginal throughput up to ~8% error: the
+// placement decision (pattern + core allocation) is robust because real
+// execution has headroom over the worst-case profiles.
+#include "bench/common.h"
+
+namespace {
+
+using namespace lemur;
+
+struct Run {
+  bool feasible = false;
+  double marginal = -1;
+  std::vector<double> assigned;
+};
+
+Run run_with_error(double error_fraction, const topo::Topology& topo,
+                   const std::vector<double>& offered) {
+  Run out;
+  placer::PlacerOptions options;
+  options.profile_scale = 1.0 - error_fraction;
+  auto chains = bench::chain_set({1, 2, 3, 4}, 0.9, topo, options);
+  metacompiler::CompilerOracle oracle(topo);
+  auto placement = placer::place(placer::Strategy::kLemur, chains, topo,
+                                 options, oracle);
+  if (!placement.feasible) return out;
+  out.feasible = true;
+  for (const auto& c : placement.chains) {
+    out.assigned.push_back(c.assigned_gbps);
+  }
+  auto artifacts = metacompiler::compile(chains, placement, topo);
+  if (!artifacts.ok) return out;
+  runtime::Testbed testbed(chains, placement, artifacts, topo);
+  if (!testbed.ok()) return out;
+  const auto m = testbed.run(5.0, 1.05, offered);
+  out.marginal = m.aggregate_gbps - placement.aggregate_t_min_gbps;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const topo::Topology topo = topo::Topology::lemur_testbed();
+  std::printf("Lemur reproduction — profiling-error sensitivity "
+              "(section 5.2), chains {1,2,3,4} at delta 0.9\n");
+  bench::print_header(
+      "Profiling error sweep (same offered load, measured on the testbed)");
+
+  // Baseline configuration and offered load.
+  const Run baseline = run_with_error(0.0, topo, {});
+  std::vector<double> offered;
+  for (double a : baseline.assigned) offered.push_back(a * 1.05);
+
+  std::printf("%-12s %10s %16s %16s %8s\n", "error", "feasible",
+              "measured-marginal", "baseline", "match");
+  for (int error_pct = 0; error_pct <= 10; ++error_pct) {
+    const Run run = run_with_error(error_pct / 100.0, topo, offered);
+    const bool match = run.marginal >= 0 &&
+                       std::abs(run.marginal - baseline.marginal) <
+                           0.05 * baseline.marginal;
+    std::printf("%-11d%% %10s %16s %16.2f %8s\n", error_pct,
+                run.feasible ? "yes" : "no",
+                bench::cell(run.marginal, run.marginal >= 0).c_str(),
+                baseline.marginal, match ? "same" : "diff");
+  }
+  std::printf(
+      "\nExpected shape: the deployed configuration delivers the baseline "
+      "marginal\nthroughput despite profile under-estimation up to roughly "
+      "8%% (section 5.2).\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "src/bess/module.h"
+
+#include <cassert>
+
+namespace lemur::bess {
+
+void Module::connect(int ogate, Module* next) {
+  assert(ogate >= 0);
+  if (static_cast<std::size_t>(ogate) >= ogates_.size()) {
+    ogates_.resize(static_cast<std::size_t>(ogate) + 1, nullptr);
+  }
+  ogates_[static_cast<std::size_t>(ogate)] = next;
+}
+
+void Module::emit(Context& ctx, int ogate, net::PacketBatch&& batch) {
+  if (batch.empty()) return;
+  if (ogate < 0 || static_cast<std::size_t>(ogate) >= ogates_.size() ||
+      ogates_[static_cast<std::size_t>(ogate)] == nullptr) {
+    return;  // Unconnected gate: packets vanish (counted by callers).
+  }
+  ogates_[static_cast<std::size_t>(ogate)]->process(ctx, std::move(batch));
+}
+
+void Sink::process(Context& ctx, net::PacketBatch&& batch) {
+  (void)ctx;
+  count_in(batch);
+  packets_ += batch.size();
+  bytes_ += batch.total_bytes();
+}
+
+}  // namespace lemur::bess

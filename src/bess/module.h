@@ -1,0 +1,114 @@
+// The BESS-style software dataplane: a graph of packet-processing modules
+// executed run-to-completion over packet batches, with per-core virtual
+// cycle accounting.
+//
+// Execution model (paper section 4.2 / appendix A.1): a scheduler task
+// pulls a batch from a source (NIC port or inter-subgroup queue) and pushes
+// it through a chain of modules on one core; every module charges its
+// per-packet cycle cost to that core's virtual clock. Throughput emerges
+// from cycles/packet x clock rate, which is exactly the paper's NF profile
+// model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/net/batch.h"
+
+namespace lemur::bess {
+
+/// Per-task execution context: the virtual clock of the core the task runs
+/// on, plus a deterministic RNG for cost-jitter models.
+class Context {
+ public:
+  Context(std::uint64_t* core_cycles, double clock_ghz, std::mt19937_64* rng,
+          double cost_factor = 1.0)
+      : core_cycles_(core_cycles),
+        clock_ghz_(clock_ghz),
+        rng_(rng),
+        cost_factor_(cost_factor) {}
+
+  /// Adds processing cost to the core's virtual clock.
+  void charge(std::uint64_t cycles) { *core_cycles_ += cycles; }
+
+  /// Adds an NF processing cost scaled by the core's NUMA factor.
+  void charge_scaled(std::uint64_t cycles) {
+    *core_cycles_ += static_cast<std::uint64_t>(
+        static_cast<double>(cycles) * cost_factor_);
+  }
+
+  [[nodiscard]] double cost_factor() const { return cost_factor_; }
+
+  [[nodiscard]] std::uint64_t cycles() const { return *core_cycles_; }
+
+  /// Current virtual time on this core, in nanoseconds.
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(*core_cycles_) / clock_ghz_);
+  }
+
+  [[nodiscard]] double clock_ghz() const { return clock_ghz_; }
+  [[nodiscard]] std::mt19937_64& rng() { return *rng_; }
+
+ private:
+  std::uint64_t* core_cycles_;
+  double clock_ghz_;
+  std::mt19937_64* rng_;
+  double cost_factor_;
+};
+
+/// A dataflow module. Modules form a DAG via output gates; process()
+/// consumes the batch and pushes packets downstream with emit().
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Processes a batch. The batch is consumed (moved downstream or
+  /// dropped); callers must not reuse it.
+  virtual void process(Context& ctx, net::PacketBatch&& batch) = 0;
+
+  /// Wires output gate `ogate` to `next`. Gates must be connected in
+  /// ascending order starting from 0.
+  void connect(int ogate, Module* next);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_ogates() const { return ogates_.size(); }
+
+  [[nodiscard]] std::uint64_t packets_in() const { return packets_in_; }
+
+ protected:
+  /// Sends a batch out of `ogate`; silently drops if unconnected (the
+  /// module graph's terminal edges end in PortOut or Sink modules).
+  void emit(Context& ctx, int ogate, net::PacketBatch&& batch);
+
+  void count_in(const net::PacketBatch& batch) {
+    packets_in_ += batch.size();
+  }
+
+ private:
+  std::string name_;
+  std::vector<Module*> ogates_;
+  std::uint64_t packets_in_ = 0;
+};
+
+/// Terminal module that counts and discards everything it receives.
+class Sink : public Module {
+ public:
+  explicit Sink(std::string name = "sink") : Module(std::move(name)) {}
+  void process(Context& ctx, net::PacketBatch&& batch) override;
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace lemur::bess

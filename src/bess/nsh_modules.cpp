@@ -1,0 +1,58 @@
+#include "src/bess/nsh_modules.h"
+
+#include "src/net/packet.h"
+
+namespace lemur::bess {
+
+void NshDecap::map(std::uint32_t spi, std::uint8_t si, int ogate) {
+  gates_[{spi, si}] = ogate;
+}
+
+void NshDecap::process(Context& ctx, net::PacketBatch&& batch) {
+  count_in(batch);
+  ctx.charge(kDecapCyclesPerPacket * batch.size());
+  // Partition the batch per output gate, preserving order within a gate.
+  std::map<int, net::PacketBatch> out;
+  for (auto& pkt : batch) {
+    const auto nsh = net::pop_nsh(pkt);
+    if (!nsh) {
+      ++unmapped_drops_;
+      continue;
+    }
+    auto it = gates_.find({nsh->spi, nsh->si});
+    if (it == gates_.end()) {
+      ++unmapped_drops_;
+      continue;
+    }
+    out[it->second].push(std::move(pkt));
+  }
+  for (auto& [gate, sub] : out) emit(ctx, gate, std::move(sub));
+}
+
+void NshEncap::process(Context& ctx, net::PacketBatch&& batch) {
+  count_in(batch);
+  ctx.charge(kEncapCyclesPerPacket * batch.size());
+  for (auto& pkt : batch) {
+    net::push_nsh(pkt, spi_, si_);
+  }
+  emit(ctx, 0, std::move(batch));
+}
+
+void LoadBalanceSteer::process(Context& ctx, net::PacketBatch&& batch) {
+  count_in(batch);
+  if (replicas_ <= 1) {
+    emit(ctx, 0, std::move(batch));
+    return;
+  }
+  ctx.charge(kSteerCyclesPerPacket * batch.size());
+  std::vector<net::PacketBatch> out(static_cast<std::size_t>(replicas_));
+  for (auto& pkt : batch) {
+    out[static_cast<std::size_t>(next_)].push(std::move(pkt));
+    next_ = (next_ + 1) % replicas_;
+  }
+  for (int g = 0; g < replicas_; ++g) {
+    emit(ctx, g, std::move(out[static_cast<std::size_t>(g)]));
+  }
+}
+
+}  // namespace lemur::bess

@@ -1,0 +1,44 @@
+#include "src/bess/port.h"
+
+namespace lemur::bess {
+
+void PortInc::process(Context& ctx, net::PacketBatch&& batch) {
+  // PortInc is a source; pushing into it just forwards (used in tests).
+  count_in(batch);
+  emit(ctx, 0, std::move(batch));
+}
+
+std::size_t PortInc::run_once(Context& ctx) {
+  net::PacketBatch batch;
+  const std::size_t n =
+      source_ != nullptr
+          ? source_->pull(batch, net::PacketBatch::kMaxBatch, ctx.now_ns())
+          : 0;
+  ctx.charge(kPollCyclesPerBatch);
+  if (n == 0) return 0;
+  count_in(batch);
+  emit(ctx, 0, std::move(batch));
+  return n;
+}
+
+void PortOut::process(Context& ctx, net::PacketBatch&& batch) {
+  count_in(batch);
+  batch.compact_drops();
+  ctx.charge(kTxCyclesPerPacket * batch.size());
+  packets_ += batch.size();
+  bytes_ += batch.total_bytes();
+  const std::uint64_t now = ctx.now_ns();
+  for (const auto& pkt : batch) {
+    latency_sum_ns_ += now > pkt.arrival_ns ? now - pkt.arrival_ns : 0;
+  }
+  if (sink_ != nullptr) sink_->push(std::move(batch), now);
+}
+
+double PortOut::mean_latency_ns() const {
+  return packets_ == 0
+             ? 0.0
+             : static_cast<double>(latency_sum_ns_) /
+                   static_cast<double>(packets_);
+}
+
+}  // namespace lemur::bess

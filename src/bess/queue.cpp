@@ -1,0 +1,27 @@
+#include "src/bess/queue.h"
+
+namespace lemur::bess {
+
+void Queue::process(Context& ctx, net::PacketBatch&& batch) {
+  (void)ctx;
+  count_in(batch);
+  for (auto& pkt : batch) {
+    if (fifo_.size() >= capacity_) {
+      ++drops_;  // Tail drop.
+    } else {
+      fifo_.push_back(std::move(pkt));
+    }
+  }
+}
+
+std::size_t Queue::pull(net::PacketBatch& out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max && !fifo_.empty()) {
+    out.push(std::move(fifo_.front()));
+    fifo_.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace lemur::bess

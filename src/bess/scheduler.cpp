@@ -1,0 +1,68 @@
+#include "src/bess/scheduler.h"
+
+#include <algorithm>
+
+namespace lemur::bess {
+
+std::size_t Task::run(Context& ctx, std::uint64_t& bytes_out) {
+  if (port_ != nullptr) {
+    // PortInc knows its own source; batch byte counting via packets_in is
+    // not needed for rate limiting NIC polls (limits apply to subgroups).
+    const std::size_t n = port_->run_once(ctx);
+    if (n == 0) return 0;
+    bytes_out += 0;  // NIC ingress is shaped upstream by the source.
+    return n;
+  }
+  net::PacketBatch batch;
+  const std::size_t n = queue_->pull(batch, net::PacketBatch::kMaxBatch);
+  if (n == 0) {
+    ctx.charge(kIdleCycles);
+    return 0;
+  }
+  bytes_out += batch.total_bytes();
+  head_->process(ctx, std::move(batch));
+  return n;
+}
+
+void CoreScheduler::add_task(Task task, RateLimit limit) {
+  TaskState ts{task, limit, limit.burst_bits, 0};
+  tasks_.push_back(ts);
+}
+
+bool CoreScheduler::runnable(TaskState& ts, std::uint64_t now_ns) const {
+  if (!ts.limit.limited()) return true;
+  // Refill the bucket from elapsed virtual time.
+  const std::uint64_t elapsed =
+      now_ns > ts.last_refill_ns ? now_ns - ts.last_refill_ns : 0;
+  ts.tokens_bits =
+      std::min(ts.limit.burst_bits,
+               ts.tokens_bits + ts.limit.bits_per_sec *
+                                    static_cast<double>(elapsed) * 1e-9);
+  ts.last_refill_ns = now_ns;
+  return ts.tokens_bits > 0;
+}
+
+std::size_t CoreScheduler::tick(Context& ctx) {
+  if (tasks_.empty()) {
+    ctx.charge(Task::kIdleCycles);
+    return 0;
+  }
+  const std::uint64_t now = ctx.now_ns();
+  // Round-robin: find the next runnable task.
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    auto& ts = tasks_[(next_ + i) % tasks_.size()];
+    if (!runnable(ts, now)) continue;
+    next_ = (next_ + i + 1) % tasks_.size();
+    std::uint64_t bytes = 0;
+    const std::size_t n = ts.task.run(ctx, bytes);
+    if (ts.limit.limited()) {
+      ts.tokens_bits -= static_cast<double>(bytes) * 8.0;
+    }
+    return n;
+  }
+  // Every task is rate-throttled: idle until tokens refill.
+  ctx.charge(Task::kIdleCycles);
+  return 0;
+}
+
+}  // namespace lemur::bess

@@ -1,0 +1,102 @@
+#include "src/chain/canonical.h"
+
+#include <cassert>
+
+#include "src/chain/parser.h"
+
+namespace lemur::chain {
+namespace {
+
+using nf::NfConfig;
+using nf::NfType;
+
+// Subchain 8 (Detunnel -> Encrypt -> IPv4Fwd) appended programmatically;
+// returns (head, tail).
+std::pair<int, int> add_subchain8(NfGraph& g, const std::string& suffix) {
+  const int detunnel = g.add_node(NfType::kDetunnel, "detunnel_" + suffix);
+  const int encrypt = g.add_node(NfType::kEncrypt, "encrypt_" + suffix);
+  const int fwd = g.add_node(NfType::kIpv4Fwd, "ipv4fwd_" + suffix);
+  g.add_edge(detunnel, encrypt);
+  g.add_edge(encrypt, fwd);
+  return {detunnel, fwd};
+}
+
+// Chain 1 needs nested branching (a branch below a branch), which the
+// spec language deliberately keeps out of scope, so it is built directly
+// on the NF-graph API. All three branch exits merge into one shared
+// Subchain 8 instance, giving the chain 8 NF instances (the paper's
+// 4-chain experiment counts 34 NF instances in total).
+NfGraph build_chain1() {
+  NfGraph g;
+  const int bpf1 = g.add_node(NfType::kMatch, "bpf_0");
+  // Branch A (2/3 of traffic): Subchain 7 = ACL -> Limiter, then BPF.
+  const int acl7 = g.add_node(NfType::kAcl, "acl_sub7");
+  const int limiter7 = g.add_node(NfType::kLimiter, "limiter_sub7");
+  const int bpf2 = g.add_node(NfType::kMatch, "bpf_1");
+  const int url = g.add_node(NfType::kUrlFilter, "urlfilter_0");
+  const auto [sub8_head, sub8_tail] = add_subchain8(g, "shared");
+  (void)sub8_tail;
+
+  // First BPF: 2/3 into Subchain 7, 1/3 straight to Subchain 8.
+  g.add_edge(bpf1, acl7, 2.0 / 3.0, BranchCondition{"dst_port", 443});
+  g.add_edge(bpf1, sub8_head, 1.0 / 3.0);
+  g.add_edge(acl7, limiter7);
+  g.add_edge(limiter7, bpf2);
+
+  // Second BPF: half through UrlFilter, half directly; both exits merge
+  // into the shared Subchain 8. The condition uses a different field than
+  // the first BPF so both are satisfiable by the same packet.
+  g.add_edge(bpf2, url, 0.5, BranchCondition{"src_port", 5000});
+  g.add_edge(bpf2, sub8_head, 0.5);
+  g.add_edge(url, sub8_head);
+  return g;
+}
+
+}  // namespace
+
+std::string canonical_chain_source(int n) {
+  switch (n) {
+    case 2:
+      return "Encrypt -> LB -> ["
+             "{'dst_port': 80, 'frac': 0.34, NAT}, "
+             "{'dst_port': 443, 'frac': 0.33, NAT}, "
+             "{'dst_port': 8080, 'frac': 0.33, NAT}] -> IPv4Fwd";
+    case 3:
+      return "Dedup -> ACL -> Limiter -> LB -> IPv4Fwd";
+    case 4:
+      return "Dedup -> ACL -> Monitor -> Tunnel -> BPF -> ["
+             "{'dst_port': 80, 'frac': 0.34, LB -> Limiter -> ACL}, "
+             "{'dst_port': 443, 'frac': 0.33, LB -> Limiter -> ACL}, "
+             "{'dst_port': 8080, 'frac': 0.33, LB -> Limiter -> ACL}]"
+             " -> IPv4Fwd";
+    case 5:
+      return "ACL -> UrlFilter -> FastEncrypt -> IPv4Fwd";
+    default:
+      return "";
+  }
+}
+
+NfGraph canonical_chain(int n) {
+  if (n == 1) return build_chain1();
+  const std::string source = canonical_chain_source(n);
+  assert(!source.empty() && "canonical chains are numbered 1..5");
+  auto parsed = parse_chain(source);
+  assert(parsed.ok && "canonical chain source must parse");
+  return std::move(parsed.graph);
+}
+
+std::vector<ChainSpec> canonical_chains(const std::vector<int>& numbers) {
+  std::vector<ChainSpec> out;
+  std::uint32_t aggregate = 1;
+  for (int n : numbers) {
+    ChainSpec spec;
+    spec.name = "Chain " + std::to_string(n);
+    spec.graph = canonical_chain(n);
+    spec.slo = Slo::elastic_pipe(0, 100.0);  // t_max 100 Gbps (section 5.1).
+    spec.aggregate_id = aggregate++;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace lemur::chain

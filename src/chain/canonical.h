@@ -1,0 +1,48 @@
+// The paper's Table 2: five canonical NF chains (selected from the IETF
+// SFC data-center use cases [21] and ISP discussions) used throughout the
+// evaluation, plus the sub-chains they are assembled from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/chain/nf_graph.h"
+#include "src/chain/slo.h"
+
+namespace lemur::chain {
+
+/// A named chain with its SLO and traffic aggregate: what an operator
+/// submits to Lemur.
+struct ChainSpec {
+  std::string name;
+  NfGraph graph;
+  Slo slo;
+  std::uint32_t aggregate_id = 0;
+  /// Relative revenue weight of this chain's marginal traffic (used by
+  /// the weighted rate-allocation objective; the paper's footnote 2
+  /// mentions such finer-grained objectives as future work).
+  double weight = 1.0;
+};
+
+/// Builds canonical chain n (1..5):
+///   1: BPF -> Subchain7 -> BPF -> UrlFilter -> Subchain8, with branch
+///      exits to Subchain8 at both BPFs          (Subchain7 = ACL->Limiter,
+///                                          Subchain8 = Detunnel->Encrypt->IPv4Fwd)
+///   2: Encrypt -> LB -> 3x NAT (branched) -> IPv4Fwd
+///   3: Dedup -> ACL -> Limiter -> LB -> IPv4Fwd
+///   4: Dedup -> ACL -> Monitor -> Tunnel -> BPF ->
+///      3x Subchain6 (branched) -> IPv4Fwd       (Subchain6 = LB->Limiter->ACL)
+///   5: ACL -> UrlFilter -> FastEncrypt -> IPv4Fwd
+NfGraph canonical_chain(int n);
+
+/// The chain-spec-language source for chains expressible without nested
+/// branches (2, 3, 4, 5); empty string for chain 1, which is built
+/// programmatically.
+std::string canonical_chain_source(int n);
+
+/// ChainSpecs for a set of chain numbers with every SLO's t_min scaled by
+/// `delta` x the chain's base rate (computed by the caller; pass the
+/// already-scaled t_min values). Convenience for experiments.
+std::vector<ChainSpec> canonical_chains(const std::vector<int>& numbers);
+
+}  // namespace lemur::chain

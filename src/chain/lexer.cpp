@@ -1,0 +1,151 @@
+#include "src/chain/lexer.h"
+
+#include <cctype>
+
+namespace lemur::chain {
+
+LexResult lex(std::string_view input) {
+  LexResult out;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto push = [&](TokenKind kind, std::string text, double number = 0) {
+    out.tokens.push_back(
+        Token{kind, std::move(text), number, line, column});
+  };
+  auto fail = [&](const std::string& message) {
+    out.error = message + " at line " + std::to_string(line) + ", column " +
+                std::to_string(column);
+    return out;
+  };
+
+  while (i < input.size()) {
+    const char c = input[i];
+    if (c == '\n') {
+      push(TokenKind::kSemicolon, "\\n");
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '#') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '>') {
+      push(TokenKind::kArrow, "->");
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < input.size() && input[j] != quote && input[j] != '\n') {
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (j >= input.size() || input[j] != quote) {
+        return fail("unterminated string");
+      }
+      push(TokenKind::kString, std::move(text));
+      column += static_cast<int>(j - i + 1);
+      i = j + 1;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      double value = 0;
+      std::string text;
+      if (c == '0' && j + 1 < input.size() &&
+          (input[j + 1] == 'x' || input[j + 1] == 'X')) {
+        j += 2;
+        std::uint64_t hex = 0;
+        const std::size_t digits_start = j;
+        while (j < input.size() &&
+               std::isxdigit(static_cast<unsigned char>(input[j]))) {
+          const char d = input[j];
+          hex = hex * 16 +
+                static_cast<std::uint64_t>(
+                    d <= '9' ? d - '0'
+                             : (std::tolower(d) - 'a' + 10));
+          ++j;
+        }
+        if (j == digits_start) return fail("malformed hex literal");
+        value = static_cast<double>(hex);
+      } else {
+        while (j < input.size() &&
+               (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                input[j] == '.')) {
+          ++j;
+        }
+        value = std::stod(std::string(input.substr(i, j - i)));
+      }
+      text = std::string(input.substr(i, j - i));
+      push(TokenKind::kNumber, std::move(text), value);
+      column += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdent, std::string(input.substr(i, j - i)));
+      column += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '=':
+        push(TokenKind::kAssign, "=");
+        break;
+      case '(':
+        push(TokenKind::kLParen, "(");
+        break;
+      case ')':
+        push(TokenKind::kRParen, ")");
+        break;
+      case '[':
+        push(TokenKind::kLBracket, "[");
+        break;
+      case ']':
+        push(TokenKind::kRBracket, "]");
+        break;
+      case '{':
+        push(TokenKind::kLBrace, "{");
+        break;
+      case '}':
+        push(TokenKind::kRBrace, "}");
+        break;
+      case ',':
+        push(TokenKind::kComma, ",");
+        break;
+      case ':':
+        push(TokenKind::kColon, ":");
+        break;
+      case ';':
+        push(TokenKind::kSemicolon, ";");
+        break;
+      default:
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+    ++column;
+  }
+  push(TokenKind::kEnd, "");
+  out.ok = true;
+  return out;
+}
+
+}  // namespace lemur::chain

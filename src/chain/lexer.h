@@ -1,0 +1,43 @@
+// Tokenizer for the NF chain specification language (paper section 2):
+//   ACL(rules=[{'dst_ip':'10.0.0.0/8','drop': False}]) -> Encryption
+//   ACL -> [{'vlan_tag': 0x1, Encryption}] -> Forward
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lemur::chain {
+
+enum class TokenKind {
+  kIdent,    ///< NF names, instance names, True/False.
+  kNumber,   ///< Decimal, hex (0x...), or decimal fraction (0.3).
+  kString,   ///< Single- or double-quoted.
+  kArrow,    ///< ->
+  kAssign,   ///< =
+  kLParen, kRParen,
+  kLBracket, kRBracket,
+  kLBrace, kRBrace,
+  kComma, kColon, kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    ///< Raw text (strings unquoted).
+  double number = 0;   ///< Valid for kNumber.
+  int line = 1;
+  int column = 1;
+};
+
+struct LexResult {
+  bool ok = false;
+  std::string error;
+  std::vector<Token> tokens;  ///< Terminated by a kEnd token when ok.
+};
+
+/// Tokenizes the input. Newlines lex as kSemicolon (statement separators);
+/// '#' starts a comment to end of line.
+LexResult lex(std::string_view input);
+
+}  // namespace lemur::chain

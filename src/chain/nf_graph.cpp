@@ -1,0 +1,175 @@
+#include "src/chain/nf_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace lemur::chain {
+
+int NfGraph::add_node(nf::NfType type, std::string instance_name,
+                      nf::NfConfig config) {
+  NfNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.instance_name = std::move(instance_name);
+  node.type = type;
+  node.config = std::move(config);
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void NfGraph::add_edge(int from, int to, double fraction,
+                       std::optional<BranchCondition> condition) {
+  edges_.push_back(NfEdge{from, to, fraction, std::move(condition)});
+}
+
+std::vector<int> NfGraph::successors(int id) const {
+  std::vector<int> out;
+  for (const auto& e : edges_) {
+    if (e.from == id) out.push_back(e.to);
+  }
+  return out;
+}
+
+std::vector<int> NfGraph::predecessors(int id) const {
+  std::vector<int> out;
+  for (const auto& e : edges_) {
+    if (e.to == id) out.push_back(e.from);
+  }
+  return out;
+}
+
+std::vector<const NfEdge*> NfGraph::out_edges(int id) const {
+  std::vector<const NfEdge*> out;
+  for (const auto& e : edges_) {
+    if (e.from == id) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<int> NfGraph::sources() const {
+  std::vector<int> out;
+  for (const auto& n : nodes_) {
+    if (predecessors(n.id).empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<int> NfGraph::sinks() const {
+  std::vector<int> out;
+  for (const auto& n : nodes_) {
+    if (successors(n.id).empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+bool NfGraph::is_branch_or_merge(int id) const {
+  return successors(id).size() > 1 || predecessors(id).size() > 1;
+}
+
+std::vector<int> NfGraph::topological_order() const {
+  std::vector<int> in_degree(nodes_.size(), 0);
+  for (const auto& e : edges_) {
+    ++in_degree[static_cast<std::size_t>(e.to)];
+  }
+  std::vector<int> frontier;
+  for (const auto& n : nodes_) {
+    if (in_degree[static_cast<std::size_t>(n.id)] == 0) {
+      frontier.push_back(n.id);
+    }
+  }
+  std::vector<int> order;
+  while (!frontier.empty()) {
+    // Smallest id first for determinism.
+    std::sort(frontier.begin(), frontier.end());
+    const int id = frontier.front();
+    frontier.erase(frontier.begin());
+    order.push_back(id);
+    for (int succ : successors(id)) {
+      if (--in_degree[static_cast<std::size_t>(succ)] == 0) {
+        frontier.push_back(succ);
+      }
+    }
+  }
+  if (order.size() != nodes_.size()) return {};  // Cycle.
+  return order;
+}
+
+std::optional<std::string> NfGraph::validate() const {
+  if (nodes_.empty()) return "chain has no NFs";
+  std::set<std::string> names;
+  for (const auto& n : nodes_) {
+    if (!names.insert(n.instance_name).second) {
+      return "duplicate instance name '" + n.instance_name + "'";
+    }
+  }
+  for (const auto& e : edges_) {
+    if (e.from < 0 || e.to < 0 ||
+        e.from >= static_cast<int>(nodes_.size()) ||
+        e.to >= static_cast<int>(nodes_.size())) {
+      return "edge references unknown node";
+    }
+  }
+  if (sources().size() != 1) {
+    return "chain must have exactly one entry NF (found " +
+           std::to_string(sources().size()) + ")";
+  }
+  if (topological_order().empty()) return "chain contains a cycle";
+  for (const auto& n : nodes_) {
+    const auto out = out_edges(n.id);
+    if (out.empty()) continue;
+    double total = 0;
+    for (const auto* e : out) total += e->traffic_fraction;
+    if (std::abs(total - 1.0) > 1e-6) {
+      return "outgoing traffic fractions of '" + n.instance_name +
+             "' sum to " + std::to_string(total) + ", expected 1";
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<NfGraph::LinearPath> NfGraph::linear_paths() const {
+  std::vector<LinearPath> out;
+  const auto roots = sources();
+  if (roots.size() != 1) return out;
+  // DFS enumerating all root-to-sink paths. Chain DAGs are small (a few
+  // branches), so exponential fan-out is not a concern.
+  struct Frame {
+    int node;
+    double fraction;
+    std::vector<int> path;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({roots.front(), 1.0, {roots.front()}});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const auto out_e = out_edges(frame.node);
+    if (out_e.empty()) {
+      out.push_back({std::move(frame.path), frame.fraction});
+      continue;
+    }
+    for (const auto* e : out_e) {
+      Frame next;
+      next.node = e->to;
+      next.fraction = frame.fraction * e->traffic_fraction;
+      next.path = frame.path;
+      next.path.push_back(e->to);
+      stack.push_back(std::move(next));
+    }
+  }
+  // Deterministic order: by first divergence node id.
+  std::sort(out.begin(), out.end(),
+            [](const LinearPath& a, const LinearPath& b) {
+              return a.nodes < b.nodes;
+            });
+  return out;
+}
+
+int NfGraph::find_instance(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n.instance_name == name) return n.id;
+  }
+  return -1;
+}
+
+}  // namespace lemur::chain

@@ -1,0 +1,96 @@
+// The NF-graph: Lemur's intermediate representation of one NF chain
+// (paper section 4). Nodes are NF instances; edges carry packet flow with
+// operator-estimated traffic fractions and optional branch conditions.
+//
+// The Placer works on *linear decompositions*: each source-to-sink path
+// through the DAG with its cumulative traffic fraction (section 3.2,
+// "Dealing with branches in chains").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/nf/nf_spec.h"
+
+namespace lemur::chain {
+
+struct BranchCondition {
+  std::string field;  ///< As in MatchNf: "vlan_tag", "dst_port", ...
+  std::uint64_t value = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return field + "==" + std::to_string(value);
+  }
+};
+
+struct NfNode {
+  int id = 0;
+  std::string instance_name;  ///< Unique within the graph.
+  nf::NfType type = nf::NfType::kAcl;
+  nf::NfConfig config;
+};
+
+struct NfEdge {
+  int from = 0;
+  int to = 0;
+  double traffic_fraction = 1.0;  ///< Fraction of `from`'s traffic.
+  std::optional<BranchCondition> condition;
+};
+
+class NfGraph {
+ public:
+  /// Adds a node; instance_name must be unique (enforced by validate()).
+  int add_node(nf::NfType type, std::string instance_name,
+               nf::NfConfig config = {});
+
+  void add_edge(int from, int to, double fraction = 1.0,
+                std::optional<BranchCondition> condition = std::nullopt);
+
+  [[nodiscard]] const std::vector<NfNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<NfEdge>& edges() const { return edges_; }
+  [[nodiscard]] const NfNode& node(int id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] std::vector<int> successors(int id) const;
+  [[nodiscard]] std::vector<int> predecessors(int id) const;
+  [[nodiscard]] std::vector<const NfEdge*> out_edges(int id) const;
+
+  /// Entry nodes (no predecessors). A valid chain has exactly one.
+  [[nodiscard]] std::vector<int> sources() const;
+  /// Exit nodes (no successors).
+  [[nodiscard]] std::vector<int> sinks() const;
+
+  /// Nodes where branching or merging occurs (never replicated, per
+  /// section 3.2).
+  [[nodiscard]] bool is_branch_or_merge(int id) const;
+
+  /// Topological order; empty if the graph has a cycle.
+  [[nodiscard]] std::vector<int> topological_order() const;
+
+  /// Checks: nonempty, single source, acyclic, unique instance names,
+  /// per-node outgoing fractions summing to ~1.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// One linear source-to-sink path and its share of chain traffic.
+  struct LinearPath {
+    std::vector<int> nodes;
+    double fraction = 1.0;
+  };
+
+  /// All source-to-sink paths with cumulative fractions
+  /// (the branch decomposition of section 3.2).
+  [[nodiscard]] std::vector<LinearPath> linear_paths() const;
+
+  [[nodiscard]] int find_instance(const std::string& name) const;
+
+ private:
+  std::vector<NfNode> nodes_;
+  std::vector<NfEdge> edges_;
+};
+
+/// A named chain with its SLO: the unit the operator submits to Lemur.
+struct ChainSpec;
+
+}  // namespace lemur::chain

@@ -1,0 +1,380 @@
+#include "src/chain/parser.h"
+
+#include <cmath>
+#include <map>
+
+#include "src/chain/lexer.h"
+
+namespace lemur::chain {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult run() {
+    ParseResult out;
+    while (!at(TokenKind::kEnd)) {
+      if (at(TokenKind::kSemicolon)) {
+        advance();
+        continue;
+      }
+      if (!parse_statement()) {
+        out.error = error_;
+        return out;
+      }
+    }
+    if (!saw_chain_) {
+      out.error = "spec contains no chain expression";
+      return out;
+    }
+    if (auto invalid = graph_.validate()) {
+      out.error = *invalid;
+      return out;
+    }
+    out.ok = true;
+    out.graph = std::move(graph_);
+    return out;
+  }
+
+ private:
+  struct Pending {
+    int from;
+    double fraction;
+    std::optional<BranchCondition> condition;
+  };
+
+  struct Declared {
+    nf::NfType type;
+    nf::NfConfig config;
+    int node_id = -1;  ///< Created on first chain use.
+  };
+
+  // --- token plumbing -----------------------------------------------------
+
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind kind) const { return cur().kind == kind; }
+  [[nodiscard]] const Token& peek() const {
+    return tokens_[std::min(pos_ + 1, tokens_.size() - 1)];
+  }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool fail(const std::string& message) {
+    error_ = message + " at line " + std::to_string(cur().line) +
+             ", column " + std::to_string(cur().column);
+    return false;
+  }
+
+  bool expect(TokenKind kind, const char* what) {
+    if (!at(kind)) return fail(std::string("expected ") + what);
+    advance();
+    return true;
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  bool parse_statement() {
+    if (!at(TokenKind::kIdent)) return fail("expected NF or instance name");
+    if (peek().kind == TokenKind::kAssign) return parse_assignment();
+    if (saw_chain_) {
+      return fail("spec may contain only one chain expression");
+    }
+    saw_chain_ = true;
+    std::vector<Pending> pending;
+    return parse_chain_expr(pending, /*allow_branches=*/true,
+                            TokenKind::kSemicolon);
+  }
+
+  bool parse_assignment() {
+    const std::string name = cur().text;
+    if (nf::nf_type_from_name(name).has_value()) {
+      return fail("instance name '" + name + "' shadows an NF type");
+    }
+    if (declared_.count(name) != 0) {
+      return fail("instance '" + name + "' declared twice");
+    }
+    advance();  // name
+    advance();  // '='
+    if (!at(TokenKind::kIdent)) return fail("expected NF type");
+    auto type = nf::nf_type_from_name(cur().text);
+    if (!type) return fail("unknown NF type '" + cur().text + "'");
+    advance();
+    Declared decl;
+    decl.type = *type;
+    if (at(TokenKind::kLParen) && !parse_args(decl.config)) return false;
+    declared_.emplace(name, std::move(decl));
+    return true;
+  }
+
+  // Parses `element (-> element)*` until `terminator` (or end/]/}).
+  // `pending` carries dangling edges into the expression; on return it
+  // holds the expression's tails.
+  bool parse_chain_expr(std::vector<Pending>& pending, bool allow_branches,
+                        TokenKind terminator) {
+    bool first_element = true;
+    while (true) {
+      if (at(TokenKind::kLBracket)) {
+        if (!allow_branches) {
+          return fail("nested branches are not supported");
+        }
+        if (!parse_branch(pending)) return false;
+      } else {
+        int node = -1;
+        if (!parse_nf_expr(node)) return false;
+        if (first_element) last_chain_head_ = node;
+        connect(pending, node);
+        pending.clear();
+        pending.push_back({node, 1.0, std::nullopt});
+      }
+      first_element = false;
+      if (at(TokenKind::kArrow)) {
+        advance();
+        continue;
+      }
+      if (at(terminator) || at(TokenKind::kEnd) ||
+          at(TokenKind::kRBrace) || at(TokenKind::kSemicolon)) {
+        return true;
+      }
+      return fail("expected '->' or end of chain");
+    }
+  }
+
+  void connect(const std::vector<Pending>& pending, int to) {
+    for (const auto& p : pending) {
+      graph_.add_edge(p.from, to, p.fraction, p.condition);
+    }
+  }
+
+  bool parse_nf_expr(int& node_out) {
+    if (!at(TokenKind::kIdent)) return fail("expected NF name");
+    const std::string name = cur().text;
+    advance();
+    // Assigned instance reference?
+    auto decl = declared_.find(name);
+    if (decl != declared_.end()) {
+      if (at(TokenKind::kLParen)) {
+        return fail("instance '" + name + "' cannot take arguments here");
+      }
+      if (decl->second.node_id < 0) {
+        decl->second.node_id =
+            graph_.add_node(decl->second.type, name, decl->second.config);
+      }
+      node_out = decl->second.node_id;
+      return true;
+    }
+    auto type = nf::nf_type_from_name(name);
+    if (!type) return fail("unknown NF '" + name + "'");
+    nf::NfConfig config;
+    if (at(TokenKind::kLParen) && !parse_args(config)) return false;
+    const int counter = auto_counter_[name]++;
+    node_out = graph_.add_node(*type, name + "_" + std::to_string(counter),
+                               std::move(config));
+    return true;
+  }
+
+  // --- branches ---------------------------------------------------------------
+
+  struct BranchEntry {
+    std::optional<BranchCondition> condition;
+    std::optional<double> fraction;
+    int head = -1;
+    std::vector<Pending> tails;
+  };
+
+  bool parse_branch(std::vector<Pending>& pending) {
+    advance();  // '['
+    std::vector<BranchEntry> entries;
+    while (true) {
+      BranchEntry entry;
+      if (!parse_branch_entry(entry)) return false;
+      entries.push_back(std::move(entry));
+      if (at(TokenKind::kComma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (!expect(TokenKind::kRBracket, "']'")) return false;
+
+    // Fraction assignment: explicit fracs first; the rest (plus the
+    // implicit bypass when every entry is conditioned) split the leftover.
+    bool has_default = false;
+    double specified = 0;
+    int unspecified = 0;
+    for (const auto& e : entries) {
+      if (!e.condition) has_default = true;
+      if (e.fraction) {
+        specified += *e.fraction;
+      } else {
+        ++unspecified;
+      }
+    }
+    const bool bypass = !has_default;
+    const int implicit_slots = unspecified + (bypass ? 1 : 0);
+    if (specified > 1.0 + 1e-9) {
+      return fail("branch fractions exceed 1");
+    }
+    const double each =
+        implicit_slots > 0 ? (1.0 - specified) / implicit_slots : 0.0;
+
+    std::vector<Pending> new_pending;
+    for (auto& entry : entries) {
+      const double frac = entry.fraction ? *entry.fraction : each;
+      for (const auto& p : pending) {
+        graph_.add_edge(p.from, entry.head, p.fraction * frac,
+                        entry.condition);
+      }
+      for (auto& t : entry.tails) new_pending.push_back(t);
+    }
+    if (bypass && each > 1e-12) {
+      for (const auto& p : pending) {
+        new_pending.push_back({p.from, p.fraction * each, std::nullopt});
+      }
+    }
+    pending = std::move(new_pending);
+    return true;
+  }
+
+  bool parse_branch_entry(BranchEntry& entry) {
+    if (!expect(TokenKind::kLBrace, "'{'")) return false;
+    // Leading 'key': value pairs (conditions and 'frac').
+    while (at(TokenKind::kString) && peek().kind == TokenKind::kColon) {
+      const std::string key = cur().text;
+      advance();  // key
+      advance();  // ':'
+      if (!at(TokenKind::kNumber)) {
+        return fail("branch '" + key + "' value must be numeric");
+      }
+      const double value = cur().number;
+      advance();
+      if (key == "frac") {
+        entry.fraction = value;
+      } else if (!entry.condition) {
+        entry.condition = BranchCondition{
+            key, static_cast<std::uint64_t>(value)};
+      } else {
+        return fail("branch entries support a single condition");
+      }
+      if (!expect(TokenKind::kComma, "','")) return false;
+    }
+    // The entry's sub-chain.
+    std::vector<Pending> sub_pending;
+    if (!parse_chain_expr(sub_pending, /*allow_branches=*/false,
+                          TokenKind::kRBrace)) {
+      return false;
+    }
+    if (sub_pending.empty()) return fail("empty branch entry");
+    // Head = the first node added by the sub-chain: recover it from the
+    // edge structure — the sub-chain's head has no edge from within the
+    // entry. Simpler: parse_chain_expr records it.
+    entry.head = last_chain_head_;
+    entry.tails = std::move(sub_pending);
+    return expect(TokenKind::kRBrace, "'}'");
+  }
+
+  // --- NF arguments -------------------------------------------------------------
+
+  bool parse_args(nf::NfConfig& config) {
+    advance();  // '('
+    if (at(TokenKind::kRParen)) {
+      advance();
+      return true;
+    }
+    while (true) {
+      if (!at(TokenKind::kIdent)) return fail("expected argument name");
+      const std::string key = cur().text;
+      advance();
+      if (!expect(TokenKind::kAssign, "'='")) return false;
+      if (!parse_value(key, config)) return false;
+      if (at(TokenKind::kComma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    return expect(TokenKind::kRParen, "')'");
+  }
+
+  bool parse_value(const std::string& key, nf::NfConfig& config) {
+    if (at(TokenKind::kNumber)) {
+      config.ints[key] = static_cast<std::int64_t>(cur().number);
+      advance();
+      return true;
+    }
+    if (at(TokenKind::kString)) {
+      config.strings[key] = cur().text;
+      advance();
+      return true;
+    }
+    if (at(TokenKind::kIdent)) {  // True / False.
+      config.strings[key] = cur().text;
+      advance();
+      return true;
+    }
+    if (at(TokenKind::kLBracket)) {
+      advance();
+      while (!at(TokenKind::kRBracket)) {
+        std::map<std::string, std::string> dict;
+        if (!parse_dict(dict)) return false;
+        config.rules.push_back(std::move(dict));
+        if (at(TokenKind::kComma)) advance();
+      }
+      advance();  // ']'
+      config.ints[key + "_size"] =
+          static_cast<std::int64_t>(config.rules.size());
+      return true;
+    }
+    return fail("expected a value for argument '" + key + "'");
+  }
+
+  bool parse_dict(std::map<std::string, std::string>& dict) {
+    if (!expect(TokenKind::kLBrace, "'{'")) return false;
+    while (!at(TokenKind::kRBrace)) {
+      if (!at(TokenKind::kString)) return fail("expected dict key string");
+      const std::string key = cur().text;
+      advance();
+      if (!expect(TokenKind::kColon, "':'")) return false;
+      std::string value;
+      if (at(TokenKind::kString) || at(TokenKind::kIdent)) {
+        value = cur().text;
+      } else if (at(TokenKind::kNumber)) {
+        value = cur().text;  // Keep raw text (handles hex).
+      } else {
+        return fail("expected dict value");
+      }
+      advance();
+      dict.emplace(key, std::move(value));
+      if (at(TokenKind::kComma)) advance();
+    }
+    advance();  // '}'
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  NfGraph graph_;
+  std::map<std::string, Declared> declared_;
+  std::map<std::string, int> auto_counter_;
+  bool saw_chain_ = false;
+  /// Head node of the most recently parsed sub-chain expression (consumed
+  /// by parse_branch_entry to wire branch edges).
+  int last_chain_head_ = -1;
+};
+
+}  // namespace
+
+ParseResult parse_chain(std::string_view input) {
+  auto lexed = lex(input);
+  if (!lexed.ok) {
+    ParseResult out;
+    out.error = lexed.error;
+    return out;
+  }
+  Parser parser(std::move(lexed.tokens));
+  return parser.run();
+}
+
+}  // namespace lemur::chain

@@ -1,0 +1,30 @@
+// Recursive-descent parser for the NF chain specification language.
+//
+// A spec is a sequence of statements separated by newlines/semicolons:
+//   instance assignments:  nat0 = NAT(entries=12000)
+//   one chain expression:  ACL -> [{'vlan_tag': 0x1, Encryption}] -> Forward
+//
+// Chain elements are NF type names (auto-instantiated), assigned instance
+// names (referencing the same instance twice merges the paths), or branch
+// lists. A branch entry is {'field': value[, 'frac': f], sub-chain}; an
+// entry with no condition is the default branch. When every entry is
+// conditioned and traffic can bypass the branch, the leftover fraction
+// flows directly to the merge point.
+#pragma once
+
+#include <string>
+
+#include "src/chain/nf_graph.h"
+
+namespace lemur::chain {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;
+  NfGraph graph;
+};
+
+/// Parses a chain spec into an NF-graph (validated before returning).
+ParseResult parse_chain(std::string_view input);
+
+}  // namespace lemur::chain

@@ -1,0 +1,19 @@
+#include "src/chain/slo.h"
+
+#include <sstream>
+
+namespace lemur::chain {
+
+std::string Slo::to_string() const {
+  std::ostringstream out;
+  out << "t_min=" << t_min_gbps << "G";
+  if (t_max_gbps < kUnbounded) {
+    out << " t_max=" << t_max_gbps << "G";
+  } else {
+    out << " t_max=inf";
+  }
+  if (has_latency_bound()) out << " d_max=" << d_max_us << "us";
+  return out.str();
+}
+
+}  // namespace lemur::chain

@@ -1,0 +1,49 @@
+// Service-level objectives (paper section 2, Table 1): a minimum
+// guaranteed rate, a maximum (burst) rate, and a maximum chain delay.
+// The Placer must provision t_min with at most d_max delay and lets
+// traffic burst to t_max; marginal throughput (rate above t_min) is what
+// the ISP monetizes and Lemur maximizes.
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace lemur::chain {
+
+struct Slo {
+  static constexpr double kUnbounded =
+      std::numeric_limits<double>::infinity();
+
+  double t_min_gbps = 0;
+  double t_max_gbps = kUnbounded;
+  double d_max_us = kUnbounded;
+
+  [[nodiscard]] bool has_latency_bound() const {
+    return d_max_us < kUnbounded;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  // Table 1's named use cases.
+  static Slo bulk() { return {0, kUnbounded, kUnbounded}; }
+  static Slo metered_bulk(double alpha_gbps) {
+    return {0, alpha_gbps, kUnbounded};
+  }
+  static Slo virtual_pipe(double alpha_gbps) {
+    return {alpha_gbps, alpha_gbps, kUnbounded};
+  }
+  static Slo elastic_pipe(double alpha_gbps, double beta_gbps) {
+    return {alpha_gbps, beta_gbps, kUnbounded};
+  }
+  static Slo infinite_pipe(double alpha_gbps) {
+    return {alpha_gbps, kUnbounded, kUnbounded};
+  }
+
+  [[nodiscard]] Slo with_latency(double d_us) const {
+    Slo out = *this;
+    out.d_max_us = d_us;
+    return out;
+  }
+};
+
+}  // namespace lemur::chain

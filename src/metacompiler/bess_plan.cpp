@@ -1,0 +1,171 @@
+#include "src/metacompiler/bess_plan.h"
+
+#include <sstream>
+
+namespace lemur::metacompiler {
+namespace {
+
+/// Branch-steering rules derived from a node's conditioned out-edges,
+/// aligned with the gate numbering of gate_map().
+std::vector<nf::MatchRule> steering_rules(const chain::NfGraph& graph,
+                                          int node) {
+  std::vector<nf::MatchRule> out;
+  for (const auto& [edge, gate] : gate_map(graph, node)) {
+    if (!edge->condition) continue;  // Unconditioned edge = default gate 0.
+    nf::MatchRule rule;
+    rule.field = edge->condition->field;
+    rule.value = edge->condition->value;
+    rule.gate = gate;
+    out.push_back(rule);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ServerPlan> build_bess_plans(
+    const std::vector<chain::ChainSpec>& chains,
+    const std::vector<ChainRouting>& routings,
+    const std::vector<placer::Subgroup>& subgroups,
+    const topo::Topology& topo) {
+  std::vector<ServerPlan> plans(topo.servers.size());
+  for (std::size_t s = 0; s < plans.size(); ++s) {
+    plans[s].server = static_cast<int>(s);
+  }
+
+  for (std::size_t c = 0; c < routings.size(); ++c) {
+    const auto& routing = routings[c];
+    const auto& graph = chains[c].graph;
+    for (const auto& segment : routing.segments) {
+      if (segment.target != placer::Target::kServer) continue;
+      BessSegmentPlan plan;
+      plan.chain = static_cast<int>(c);
+      plan.nodes = segment.nodes;
+      plan.spi_in = segment.entries.front().spi;
+      plan.si_in = segment.entries.front().si;
+
+      int server = 0;
+      for (const auto& g : subgroups) {
+        if (g.chain == static_cast<int>(c) && g.nodes == segment.nodes) {
+          server = g.server;
+          plan.cores = g.cores;
+          plan.core_group = g.shared_core;
+          plan.traffic_fraction = g.traffic_fraction;
+          break;
+        }
+      }
+
+      for (const auto& exit : segment.exits) {
+        BessSegmentPlan::Exit e;
+        e.gate = exit.gate;
+        if (exit.next_segment < 0) {
+          e.spi = routing.spi;
+          e.si = 0;  // Chain egress sentinel.
+        } else {
+          const auto& next = routing.segments[static_cast<std::size_t>(
+              exit.next_segment)];
+          const auto* entry = next.entry_for(exit.next_entry_node);
+          e.spi = entry->spi;
+          e.si = entry->si;
+        }
+        plan.exits.push_back(e);
+      }
+
+      const int tail = segment.nodes.back();
+      if (graph.successors(tail).size() > 1) {
+        plan.generated_steering = steering_rules(graph, tail);
+      }
+      plans[static_cast<std::size_t>(server)].segments.push_back(
+          std::move(plan));
+    }
+  }
+  return plans;
+}
+
+std::string ServerPlan::print_script(
+    const std::vector<chain::ChainSpec>& chains) const {
+  std::ostringstream out;
+  out << "# Auto-generated BESS script for server " << server
+      << " — Lemur metacompiler\n";
+  out << "port_inc = PortInc(port='nic0')          # coordination\n";
+  out << "nsh_decap = NSHdecap()                   # coordination\n";
+  out << "nsh_mux_out = PortOut(port='nic0')       # coordination\n";
+  out << "port_inc -> nsh_decap                    # coordination\n";
+
+  int core = 1;  // Core 0 runs the demultiplexer.
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& seg = segments[i];
+    const auto& graph = chains[static_cast<std::size_t>(seg.chain)].graph;
+    const std::string id = "c" + std::to_string(seg.chain) + "_s" +
+                           std::to_string(i);
+    out << "# chain " << seg.chain << " subgroup: spi=" << seg.spi_in
+        << " si=" << static_cast<int>(seg.si_in) << " cores=" << seg.cores
+        << "\n";
+    for (int r = 0; r < seg.cores; ++r) {
+      out << "q_" << id << "_r" << r << " = Queue()  # coordination\n";
+    }
+    if (seg.cores > 1) {
+      out << "steer_" << id << " = RoundRobin(gates=" << seg.cores
+          << ")  # coordination\n";
+      out << "nsh_decap:" << i << " -> steer_" << id
+          << "  # coordination\n";
+      for (int r = 0; r < seg.cores; ++r) {
+        out << "steer_" << id << ":" << r << " -> q_" << id << "_r" << r
+            << "  # coordination\n";
+      }
+    } else {
+      out << "nsh_decap:" << i << " -> q_" << id << "_r0  # coordination\n";
+    }
+    std::string prev = "q_" + id + "_r0";
+    for (int node_id : seg.nodes) {
+      const auto& node = graph.node(node_id);
+      const std::string inst = node.instance_name;
+      out << inst << " = " << nf::spec_of(node.type).name << "()\n";
+      out << prev << " -> " << inst << "\n";
+      prev = inst;
+    }
+    if (seg.needs_generated_steering()) {
+      out << "branch_" << id << " = Match(rules="
+          << seg.generated_steering.size() << ")  # coordination\n";
+      out << prev << " -> branch_" << id << "  # coordination\n";
+      prev = "branch_" + id;
+    }
+    for (const auto& exit : seg.exits) {
+      out << "nsh_encap_" << id << "_g" << exit.gate
+          << " = NSHencap(spi=" << exit.spi
+          << ", si=" << static_cast<int>(exit.si) << ")  # coordination\n";
+      out << prev << ":" << exit.gate << " -> nsh_encap_" << id << "_g"
+          << exit.gate << " -> nsh_mux_out  # coordination\n";
+    }
+    for (int r = 0; r < seg.cores; ++r) {
+      out << "bess.attach_task('q_" << id << "_r" << r << "', wid=" << core
+          << ")  # coordination\n";
+      ++core;
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+bool is_coordination_line(const std::string& line) {
+  return line.find("# coordination") != std::string::npos ||
+         line.rfind("#", 0) == 0;
+}
+
+}  // namespace
+
+ServerPlan::LocSummary ServerPlan::loc_summary(
+    const std::vector<chain::ChainSpec>& chains) const {
+  LocSummary out;
+  std::istringstream script(print_script(chains));
+  std::string line;
+  while (std::getline(script, line)) {
+    if (line.empty()) continue;
+    ++out.total;
+    if (is_coordination_line(line)) ++out.coordination;
+  }
+  return out;
+}
+
+}  // namespace lemur::metacompiler

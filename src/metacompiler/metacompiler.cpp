@@ -1,0 +1,130 @@
+#include "src/metacompiler/metacompiler.h"
+
+#include <sstream>
+
+namespace lemur::metacompiler {
+
+CompiledArtifacts compile(const std::vector<chain::ChainSpec>& chains,
+                          const placer::PlacementResult& placement,
+                          const topo::Topology& topo) {
+  CompiledArtifacts out;
+  if (!placement.feasible) {
+    out.error = "placement is infeasible: " + placement.infeasible_reason;
+    return out;
+  }
+  if (placement.chains.size() != chains.size()) {
+    out.error = "placement/chain count mismatch";
+    return out;
+  }
+
+  // Routing decomposition per chain.
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    out.routings.push_back(build_routing(
+        chains[c], placement.chains[c].nodes, static_cast<int>(c)));
+  }
+
+  // Unified P4 program + steering entries.
+  PortMap ports;
+  out.p4 = compose_p4(chains, out.routings, placement.subgroups, topo,
+                      ports);
+  if (!out.p4.ok()) {
+    out.error = "P4 composition failed: " + out.p4.error;
+    return out;
+  }
+
+  // Per-server BESS plans.
+  out.server_plans =
+      build_bess_plans(chains, out.routings, placement.subgroups, topo);
+
+  // SmartNIC programs.
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    const auto& routing = out.routings[c];
+    const auto& graph = chains[c].graph;
+    for (const auto& segment : routing.segments) {
+      if (segment.target != placer::Target::kSmartNic) continue;
+      const int node_id = segment.nodes.front();
+      const auto& node = graph.node(node_id);
+      auto program = nf::ebpf::generate(node.type, node.config);
+      if (!program) {
+        out.error = "NF '" + node.instance_name +
+                    "' placed on a SmartNIC but has no eBPF generator";
+        return out;
+      }
+      NicArtifact artifact;
+      artifact.chain = static_cast<int>(c);
+      artifact.node = node_id;
+      artifact.type = node.type;
+      artifact.program = std::move(*program);
+      artifact.spi_in = segment.entries.front().spi;
+      artifact.si_in = segment.entries.front().si;
+      // NIC NFs are non-branching: single exit.
+      const auto& exit = segment.exits.front();
+      if (exit.next_segment < 0) {
+        artifact.spi_out = routing.spi;
+        artifact.si_out = 0;
+      } else {
+        const auto& next = routing.segments[static_cast<std::size_t>(
+            exit.next_segment)];
+        const auto* entry = next.entry_for(exit.next_entry_node);
+        artifact.spi_out = entry->spi;
+        artifact.si_out = entry->si;
+      }
+      out.nic_programs.push_back(std::move(artifact));
+    }
+  }
+
+  // OpenFlow rules: NF rules plus the VLAN-encoded service path ids.
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    const auto& routing = out.routings[c];
+    const auto& graph = chains[c].graph;
+    for (const auto& segment : routing.segments) {
+      if (segment.target != placer::Target::kOpenFlow) continue;
+      const int node_id = segment.nodes.front();
+      const auto& node = graph.node(node_id);
+      OfArtifact artifact;
+      artifact.chain = static_cast<int>(c);
+      artifact.node = node_id;
+      artifact.rules = openflow::generate_rules(node.type, node.config);
+      const auto& entry = segment.entries.front();
+      artifact.spi_in = entry.spi;
+      artifact.si_in = entry.si;
+      const auto& exit = segment.exits.front();
+      if (exit.next_segment < 0) {
+        artifact.spi_out = routing.spi;
+        artifact.si_out = 0;
+      } else {
+        const auto& next = routing.segments[static_cast<std::size_t>(
+            exit.next_segment)];
+        const auto* next_entry = next.entry_for(exit.next_entry_node);
+        artifact.spi_out = next_entry->spi;
+        artifact.si_out = next_entry->si;
+      }
+      artifact.vid_in = openflow::pack_spi_si(
+          static_cast<std::uint8_t>(artifact.spi_in), artifact.si_in);
+      artifact.vid_out = openflow::pack_spi_si(
+          static_cast<std::uint8_t>(artifact.spi_out), artifact.si_out);
+      out.of_rules.push_back(std::move(artifact));
+    }
+  }
+
+  // LoC accounting across targets.
+  out.loc.total = out.p4.coordination_lines + out.p4.library_lines;
+  out.loc.generated = out.p4.coordination_lines;
+  for (const auto& plan : out.server_plans) {
+    const auto summary = plan.loc_summary(chains);
+    out.loc.total += summary.total;
+    out.loc.generated += summary.coordination;
+  }
+  for (const auto& nic : out.nic_programs) {
+    // Count generated eBPF instructions as lines; the parse/steer
+    // preamble and exits are coordination, the NF body is library.
+    const int lines = static_cast<int>(nic.program.size());
+    out.loc.total += lines;
+    out.loc.generated += std::min(lines, 18);  // Parse preamble + exits.
+  }
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace lemur::metacompiler

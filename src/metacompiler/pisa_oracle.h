@@ -1,0 +1,29 @@
+// The production SwitchOracle: answers the Placer's "does this fit?"
+// question by actually composing the unified P4 program for the proposed
+// switch placement and invoking the platform compiler — the paper's key
+// workaround for PISA switches exposing no feasibility API.
+#pragma once
+
+#include <map>
+
+#include "src/metacompiler/p4_compose.h"
+#include "src/placer/oracle.h"
+
+namespace lemur::metacompiler {
+
+class CompilerOracle : public placer::SwitchOracle {
+ public:
+  explicit CompilerOracle(topo::Topology topo) : topo_(std::move(topo)) {}
+
+  Check check(const std::vector<chain::ChainSpec>& chains,
+              const std::vector<std::vector<int>>& pisa_nodes) override;
+
+  [[nodiscard]] int compile_invocations() const { return invocations_; }
+
+ private:
+  topo::Topology topo_;
+  int invocations_ = 0;
+  std::map<std::vector<std::vector<int>>, Check> cache_;
+};
+
+}  // namespace lemur::metacompiler

@@ -1,0 +1,164 @@
+#include "src/metacompiler/segments.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+
+namespace lemur::metacompiler {
+namespace {
+
+using placer::Pattern;
+using placer::Target;
+
+/// Union-find over node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      x = parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+bool Segment::contains(int node) const {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+const SegmentEntry* Segment::entry_for(int node) const {
+  for (const auto& e : entries) {
+    if (e.node == node) return &e;
+  }
+  return nullptr;
+}
+
+int ChainRouting::segment_of(int node) const {
+  for (const auto& s : segments) {
+    if (s.contains(node)) return s.id;
+  }
+  return -1;
+}
+
+const Segment& ChainRouting::ingress_segment() const {
+  return segments[static_cast<std::size_t>(segment_of(source_node))];
+}
+
+std::vector<std::pair<const chain::NfEdge*, int>> gate_map(
+    const chain::NfGraph& graph, int node) {
+  std::vector<std::pair<const chain::NfEdge*, int>> out;
+  int next_gate = 1;
+  for (const auto* e : graph.out_edges(node)) {
+    if (e->condition.has_value()) {
+      out.emplace_back(e, next_gate++);
+    } else {
+      out.emplace_back(e, 0);
+    }
+  }
+  // Single unconditioned out-edge keeps gate 0 (the common case).
+  return out;
+}
+
+ChainRouting build_routing(const chain::ChainSpec& spec,
+                           const Pattern& pattern, int chain_index) {
+  const auto& graph = spec.graph;
+  ChainRouting out;
+  out.chain = chain_index;
+  out.spi = static_cast<std::uint32_t>(chain_index + 1);
+
+  const auto order = graph.topological_order();
+  assert(!order.empty());
+  out.source_node = graph.sources().front();
+
+  auto target_of = [&](int id) {
+    return pattern[static_cast<std::size_t>(id)].target;
+  };
+
+  // 1. Group nodes into segments.
+  UnionFind uf(graph.nodes().size());
+  for (const auto& e : graph.edges()) {
+    const Target a = target_of(e.from);
+    const Target b = target_of(e.to);
+    if (a != b) continue;
+    if (a == Target::kPisa) {
+      // Whole connected P4 component executes in one switch traversal.
+      uf.unite(e.from, e.to);
+    } else if (a == Target::kServer) {
+      // Run-to-completion: only across linear hand-offs (matches the
+      // Placer's subgroup rule).
+      if (graph.successors(e.from).size() == 1 &&
+          graph.predecessors(e.to).size() == 1) {
+        uf.unite(e.from, e.to);
+      }
+    }
+    // SmartNIC / OpenFlow: single-node segments.
+  }
+
+  std::map<int, int> root_to_segment;
+  for (int id : order) {
+    const int root = uf.find(id);
+    auto it = root_to_segment.find(root);
+    if (it == root_to_segment.end()) {
+      Segment seg;
+      seg.id = static_cast<int>(out.segments.size());
+      seg.chain = chain_index;
+      seg.target = target_of(id);
+      root_to_segment.emplace(root, seg.id);
+      out.segments.push_back(std::move(seg));
+      it = root_to_segment.find(root);
+    }
+    out.segments[static_cast<std::size_t>(it->second)].nodes.push_back(id);
+  }
+
+  // 2. Entries: nodes whose predecessors are outside the segment (or the
+  // chain source). Assign (SPI, SI): SI counts down from 255 in entry
+  // discovery order, like a real service path.
+  std::uint8_t next_si = 255;
+  for (auto& seg : out.segments) {
+    for (int id : seg.nodes) {
+      const auto preds = graph.predecessors(id);
+      bool is_entry = preds.empty();
+      for (int p : preds) {
+        if (!seg.contains(p)) is_entry = true;
+      }
+      if (is_entry) {
+        seg.entries.push_back(SegmentEntry{id, out.spi, next_si--});
+      }
+    }
+  }
+
+  // 3. Exits: edges leaving a segment, plus chain egress at sinks.
+  for (auto& seg : out.segments) {
+    for (int id : seg.nodes) {
+      const auto gates = gate_map(graph, id);
+      if (gates.empty()) {
+        seg.exits.push_back(SegmentExit{id, 0, std::nullopt, -1, -1});
+        continue;
+      }
+      for (const auto& [edge, gate] : gates) {
+        if (seg.contains(edge->to)) continue;  // Internal hand-off.
+        SegmentExit exit;
+        exit.from_node = id;
+        exit.gate = gate;
+        exit.condition = edge->condition;
+        exit.next_segment = out.segment_of(edge->to);
+        exit.next_entry_node = edge->to;
+        seg.exits.push_back(std::move(exit));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lemur::metacompiler

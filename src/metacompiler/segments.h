@@ -1,0 +1,72 @@
+// Chain routing synthesis (paper section 4.1): decomposes each placed
+// chain into *segments* — the units of cross-platform hand-off — and
+// assigns each segment entry a Network Service Header (SPI, SI) pair.
+//
+//  - Server segments match the Placer's run-to-completion subgroups.
+//  - PISA segments are connected components of switch-placed NFs: one
+//    switch traversal executes the whole guarded component (appendix
+//    A.2.2's subgroup DAG), possibly via multiple entry points.
+//  - SmartNIC and OpenFlow NFs form single-node segments.
+//
+// An exit edge records where traffic goes next (segment id + entry node)
+// and under which branch condition, giving every code generator the same
+// view of the chain's routing.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/placer/pattern.h"
+
+namespace lemur::metacompiler {
+
+struct SegmentEntry {
+  int node = 0;           ///< Entry NF node id.
+  std::uint32_t spi = 0;  ///< Service path index carried by packets.
+  std::uint8_t si = 255;  ///< Service index of this entry.
+};
+
+struct SegmentExit {
+  int from_node = 0;
+  int gate = 0;  ///< Output gate of from_node (0 = default/unconditioned).
+  std::optional<chain::BranchCondition> condition;
+  int next_segment = -1;    ///< -1 = chain egress.
+  int next_entry_node = -1; ///< Entry node within next_segment.
+};
+
+struct Segment {
+  int id = 0;
+  int chain = 0;
+  placer::Target target = placer::Target::kServer;
+  std::vector<int> nodes;  ///< In topological order.
+  std::vector<SegmentEntry> entries;
+  std::vector<SegmentExit> exits;
+
+  [[nodiscard]] bool contains(int node) const;
+  [[nodiscard]] const SegmentEntry* entry_for(int node) const;
+};
+
+struct ChainRouting {
+  int chain = 0;
+  std::uint32_t spi = 0;  ///< All segments of a chain share one SPI.
+  int source_node = 0;    ///< The chain's single entry NF.
+  std::vector<Segment> segments;
+
+  /// Segment index containing `node`, or -1.
+  [[nodiscard]] int segment_of(int node) const;
+  /// The segment entered by chain ingress traffic.
+  [[nodiscard]] const Segment& ingress_segment() const;
+};
+
+/// Decomposes one placed chain. `chain_index` determines the SPI
+/// (chain_index + 1). Patterns must be placement-final.
+ChainRouting build_routing(const chain::ChainSpec& spec,
+                           const placer::Pattern& pattern, int chain_index);
+
+/// Gate numbering for a node's out-edges: unconditioned edges get gate 0,
+/// conditioned edges get 1, 2, ... in graph order. Returns pairs of
+/// (edge pointer, gate).
+std::vector<std::pair<const chain::NfEdge*, int>> gate_map(
+    const chain::NfGraph& graph, int node);
+
+}  // namespace lemur::metacompiler

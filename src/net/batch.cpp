@@ -1,0 +1,19 @@
+#include "src/net/batch.h"
+
+#include <algorithm>
+
+namespace lemur::net {
+
+std::size_t PacketBatch::compact_drops() {
+  const std::size_t before = packets_.size();
+  std::erase_if(packets_, [](const Packet& p) { return p.drop; });
+  return before - packets_.size();
+}
+
+std::uint64_t PacketBatch::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const Packet& p : packets_) total += p.size();
+  return total;
+}
+
+}  // namespace lemur::net

@@ -1,0 +1,49 @@
+// PacketBatch: the unit of work in the BESS dataplane. Run-to-completion
+// subgroups process a whole batch through every NF before pulling the next
+// batch, exactly as the paper's execution model requires.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace lemur::net {
+
+class PacketBatch {
+ public:
+  /// BESS's default batch size.
+  static constexpr std::size_t kMaxBatch = 32;
+
+  PacketBatch() = default;
+
+  void push(Packet pkt) { packets_.push_back(std::move(pkt)); }
+
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
+  [[nodiscard]] bool full() const { return packets_.size() >= kMaxBatch; }
+
+  Packet& operator[](std::size_t i) { return packets_[i]; }
+  const Packet& operator[](std::size_t i) const { return packets_[i]; }
+
+  auto begin() { return packets_.begin(); }
+  auto end() { return packets_.end(); }
+  auto begin() const { return packets_.begin(); }
+  auto end() const { return packets_.end(); }
+
+  /// Removes packets whose drop flag is set; returns how many were dropped.
+  std::size_t compact_drops();
+
+  /// Total wire bytes across the batch.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  void clear() { packets_.clear(); }
+
+  std::vector<Packet>& packets() { return packets_; }
+  const std::vector<Packet>& packets() const { return packets_; }
+
+ private:
+  std::vector<Packet> packets_;
+};
+
+}  // namespace lemur::net

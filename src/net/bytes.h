@@ -1,0 +1,119 @@
+// Byte-order-safe buffer readers and writers used by all header codecs.
+//
+// Network headers are serialized big-endian. BufWriter appends to a growing
+// byte vector; BufReader consumes a read-only span and reports truncation
+// through its ok() flag instead of throwing, since parse failures are an
+// expected data-plane event.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lemur::net {
+
+/// Appends big-endian scalar values to a byte buffer.
+class BufWriter {
+ public:
+  explicit BufWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> src) {
+    out_.insert(out_.end(), src.begin(), src.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Consumes big-endian scalar values from a byte span. After any read past
+/// the end, ok() turns false and all further reads return zero.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return ok_ ? data_.size() - pos_ : 0;
+  }
+
+  std::uint8_t u8() {
+    if (!check(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    if (!check(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (!check(4)) return 0;
+    std::uint32_t hi = u16();
+    std::uint32_t lo = u16();
+    return (hi << 16) | lo;
+  }
+
+  std::uint64_t u64() {
+    if (!check(8)) return 0;
+    std::uint64_t hi = u32();
+    std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+
+  /// Reads exactly n bytes into dst; on truncation dst is zero-filled.
+  void bytes(std::span<std::uint8_t> dst) {
+    if (!check(dst.size())) {
+      std::memset(dst.data(), 0, dst.size());
+      return;
+    }
+    std::memcpy(dst.data(), data_.data() + pos_, dst.size());
+    pos_ += dst.size();
+  }
+
+  void skip(std::size_t n) {
+    if (check(n)) pos_ += n;
+  }
+
+ private:
+  bool check(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Renders a byte span as lowercase hex, for diagnostics and tests.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace lemur::net

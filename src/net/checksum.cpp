@@ -1,0 +1,20 @@
+#include "src/net/checksum.h"
+
+namespace lemur::net {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint64_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint64_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace lemur::net

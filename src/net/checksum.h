@@ -1,0 +1,13 @@
+// Internet checksum (RFC 1071) used by the IPv4 header codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace lemur::net {
+
+/// One's-complement sum over the data, folded to 16 bits. Odd trailing byte
+/// is padded with zero, as the RFC specifies.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace lemur::net

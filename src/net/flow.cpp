@@ -1,0 +1,55 @@
+#include "src/net/flow.h"
+
+namespace lemur::net {
+
+std::string FiveTuple::to_string() const {
+  return src_ip.to_string() + ":" + std::to_string(src_port) + " -> " +
+         dst_ip.to_string() + ":" + std::to_string(dst_port) + " proto " +
+         std::to_string(proto);
+}
+
+std::uint64_t FiveTuple::hash() const {
+  constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  mix(src_ip.value, 4);
+  mix(dst_ip.value, 4);
+  mix(src_port, 2);
+  mix(dst_port, 2);
+  mix(proto, 1);
+  return h;
+}
+
+FiveTuple FiveTuple::reversed() const {
+  return FiveTuple{dst_ip, src_ip, dst_port, src_port, proto};
+}
+
+std::optional<FiveTuple> FiveTuple::from(const ParsedLayers& layers) {
+  if (!layers.ipv4) return std::nullopt;
+  FiveTuple t;
+  t.src_ip = layers.ipv4->src;
+  t.dst_ip = layers.ipv4->dst;
+  t.proto = layers.ipv4->protocol;
+  if (layers.tcp) {
+    t.src_port = layers.tcp->src_port;
+    t.dst_port = layers.tcp->dst_port;
+  } else if (layers.udp) {
+    t.src_port = layers.udp->src_port;
+    t.dst_port = layers.udp->dst_port;
+  }
+  return t;
+}
+
+std::optional<FiveTuple> FiveTuple::from(const Packet& pkt) {
+  auto layers = ParsedLayers::parse(pkt);
+  if (!layers) return std::nullopt;
+  return from(*layers);
+}
+
+}  // namespace lemur::net

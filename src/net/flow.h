@@ -1,0 +1,46 @@
+// Flow 5-tuple: the unit of traffic aggregation in Lemur's SLO model and
+// the key for stateful NFs (NAT, Monitor, LB).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/net/addr.h"
+#include "src/net/packet.h"
+
+namespace lemur::net {
+
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable 64-bit hash (FNV-1a over the canonical byte layout).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// The reverse direction of this flow (src/dst swapped).
+  [[nodiscard]] FiveTuple reversed() const;
+
+  /// Extracts the 5-tuple from parsed layers; nullopt for non-IP packets.
+  static std::optional<FiveTuple> from(const ParsedLayers& layers);
+
+  /// Convenience: parse the packet and extract in one step.
+  static std::optional<FiveTuple> from(const Packet& pkt);
+};
+
+}  // namespace lemur::net
+
+template <>
+struct std::hash<lemur::net::FiveTuple> {
+  std::size_t operator()(const lemur::net::FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.hash());
+  }
+};

@@ -1,0 +1,162 @@
+#include "src/net/headers.h"
+
+#include "src/net/checksum.h"
+
+namespace lemur::net {
+
+void EthernetHeader::encode(BufWriter& w) const {
+  w.bytes(dst.bytes);
+  w.bytes(src.bytes);
+  w.u16(ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(BufReader& r) {
+  EthernetHeader h;
+  r.bytes(h.dst.bytes);
+  r.bytes(h.src.bytes);
+  h.ether_type = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void VlanHeader::encode(BufWriter& w) const {
+  const std::uint16_t tci = static_cast<std::uint16_t>(
+      (pcp & 0x7) << 13 | (dei ? 1 : 0) << 12 | (vid & 0xfff));
+  w.u16(tci);
+  w.u16(ether_type);
+}
+
+std::optional<VlanHeader> VlanHeader::decode(BufReader& r) {
+  const std::uint16_t tci = r.u16();
+  VlanHeader h;
+  h.pcp = static_cast<std::uint8_t>(tci >> 13);
+  h.dei = (tci >> 12) & 1;
+  h.vid = tci & 0xfff;
+  h.ether_type = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+std::uint16_t Ipv4Header::compute_checksum() const {
+  std::vector<std::uint8_t> tmp;
+  tmp.reserve(kMinSize);
+  BufWriter w(tmp);
+  w.u8(0x45);  // Version 4, IHL 5.
+  w.u8(dscp);
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(0);  // Flags + fragment offset: Lemur never fragments.
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // Checksum field itself counts as zero.
+  w.u32(src.value);
+  w.u32(dst.value);
+  return internet_checksum(tmp);
+}
+
+void Ipv4Header::encode(BufWriter& w) const {
+  const std::uint16_t csum = compute_checksum();
+  w.u8(0x45);
+  w.u8(dscp);
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(0);
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(csum);
+  w.u32(src.value);
+  w.u32(dst.value);
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(BufReader& r) {
+  const std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) return std::nullopt;
+  const std::uint8_t ihl = ver_ihl & 0xf;
+  if (ihl < 5) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = r.u8();
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  r.u16();  // Flags + fragment offset.
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  h.checksum = r.u16();
+  h.src.value = r.u32();
+  h.dst.value = r.u32();
+  r.skip(static_cast<std::size_t>(ihl - 5) * 4);  // Options.
+  if (!r.ok()) return std::nullopt;
+  if (h.compute_checksum() != h.checksum) return std::nullopt;
+  return h;
+}
+
+void UdpHeader::encode(BufWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(0);  // Checksum zero = unused, legal for UDP over IPv4.
+}
+
+std::optional<UdpHeader> UdpHeader::decode(BufReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  r.u16();  // Checksum, ignored.
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::encode(BufWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(0x50);  // Data offset 5 words, no options.
+  w.u8(flags);
+  w.u16(window);
+  w.u16(0);  // Checksum: the simulated fabric does not corrupt L4 payloads.
+  w.u16(0);  // Urgent pointer.
+}
+
+std::optional<TcpHeader> TcpHeader::decode(BufReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint8_t offset_words = r.u8() >> 4;
+  if (offset_words < 5) return std::nullopt;
+  h.flags = r.u8();
+  h.window = r.u16();
+  r.u16();  // Checksum.
+  r.u16();  // Urgent pointer.
+  r.skip(static_cast<std::size_t>(offset_words - 5) * 4);  // Options.
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void NshHeader::encode(BufWriter& w) const {
+  // Word 0: version(2)=0, O(1)=0, U(1)=0, TTL(6), length(6)=2 words,
+  // reserved(4), MD type(4)=2, next protocol(8).
+  const std::uint32_t word0 = (static_cast<std::uint32_t>(ttl & 0x3f) << 22) |
+                              (2u << 16) | (2u << 8) | next_proto;
+  w.u32(word0);
+  w.u32((spi & kMaxSpi) << 8 | si);
+}
+
+std::optional<NshHeader> NshHeader::decode(BufReader& r) {
+  const std::uint32_t word0 = r.u32();
+  const std::uint32_t word1 = r.u32();
+  if (!r.ok()) return std::nullopt;
+  if ((word0 >> 30) != 0) return std::nullopt;  // Unsupported NSH version.
+  const std::uint32_t length_words = (word0 >> 16) & 0x3f;
+  if (length_words != 2) return std::nullopt;  // We emit no context headers.
+  NshHeader h;
+  h.ttl = static_cast<std::uint8_t>((word0 >> 22) & 0x3f);
+  h.next_proto = static_cast<std::uint8_t>(word0 & 0xff);
+  h.spi = word1 >> 8;
+  h.si = static_cast<std::uint8_t>(word1 & 0xff);
+  return h;
+}
+
+}  // namespace lemur::net

@@ -1,0 +1,120 @@
+// Wire-format codecs for the headers Lemur's dataplanes manipulate:
+// Ethernet, 802.1Q VLAN, IPv4, TCP, UDP, and the Network Service Header
+// (NSH, RFC 8300) that carries the service path index (SPI) and service
+// index (SI) used to stitch NF chains across platforms.
+//
+// Each header type provides encode() into a BufWriter and decode() from a
+// BufReader. Decoders report malformed input by returning nullopt.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/net/addr.h"
+#include "src/net/bytes.h"
+
+namespace lemur::net {
+
+/// EtherType values used by Lemur.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kVlan = 0x8100,
+  kNsh = 0x894f,
+  kArp = 0x0806,
+};
+
+/// IPv4 protocol numbers used by Lemur.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = 0;
+
+  void encode(BufWriter& w) const;
+  static std::optional<EthernetHeader> decode(BufReader& r);
+};
+
+/// 802.1Q tag. The 12-bit vid doubles as Lemur's OpenFlow SPI/SI carrier
+/// (section 5.3 of the paper): the high 6 bits hold the SPI, the low 6 the SI.
+struct VlanHeader {
+  static constexpr std::size_t kSize = 4;
+
+  std::uint8_t pcp = 0;        ///< Priority code point (3 bits).
+  bool dei = false;            ///< Drop eligible indicator.
+  std::uint16_t vid = 0;       ///< VLAN identifier (12 bits).
+  std::uint16_t ether_type = 0;  ///< EtherType of the encapsulated payload.
+
+  void encode(BufWriter& w) const;
+  static std::optional<VlanHeader> decode(BufReader& r);
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  ///< Header + payload bytes.
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;  ///< Filled by encode() when zero.
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  /// Encodes with a correct header checksum (any preset value is ignored).
+  void encode(BufWriter& w) const;
+
+  /// Decodes and verifies the checksum; returns nullopt on corruption.
+  static std::optional<Ipv4Header> decode(BufReader& r);
+
+  /// Computes the header checksum this header would carry on the wire.
+  [[nodiscard]] std::uint16_t compute_checksum() const;
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  ///< Header + payload bytes.
+
+  void encode(BufWriter& w) const;
+  static std::optional<UdpHeader> decode(BufReader& r);
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;  ///< FIN=0x01 SYN=0x02 RST=0x04 PSH=0x08 ACK=0x10.
+  std::uint16_t window = 65535;
+
+  void encode(BufWriter& w) const;
+  static std::optional<TcpHeader> decode(BufReader& r);
+};
+
+/// NSH base + MD-type-2 header with zero context (RFC 8300). Lemur only
+/// needs the service path header: 24-bit SPI and 8-bit SI.
+struct NshHeader {
+  static constexpr std::size_t kSize = 8;
+  static constexpr std::uint32_t kMaxSpi = 0xffffff;
+
+  std::uint8_t ttl = 63;
+  std::uint8_t next_proto = 3;  ///< 3 = Ethernet, per RFC 8300.
+  std::uint32_t spi = 0;        ///< Service path index (24 bits).
+  std::uint8_t si = 255;        ///< Service index.
+
+  void encode(BufWriter& w) const;
+  static std::optional<NshHeader> decode(BufReader& r);
+};
+
+}  // namespace lemur::net

@@ -1,0 +1,173 @@
+#include "src/net/packet.h"
+
+#include <cassert>
+
+namespace lemur::net {
+namespace {
+
+constexpr std::uint8_t kNshProtoIpv4 = 1;
+constexpr std::uint8_t kNshProtoEthernet = 3;
+
+// Offset of the EtherType field of the outermost tag-or-ethernet header:
+// the field that should become kNsh/kVlan when we encapsulate.
+std::size_t outer_ethertype_offset(const ParsedLayers& layers) {
+  if (layers.vlan) return layers.vlan_offset + 2;  // Skip TCI, point at type.
+  return 12;  // EtherType field inside the Ethernet header.
+}
+
+std::uint16_t read_u16(const Packet& pkt, std::size_t off) {
+  return static_cast<std::uint16_t>(pkt.data[off] << 8 | pkt.data[off + 1]);
+}
+
+void write_u16(Packet& pkt, std::size_t off, std::uint16_t v) {
+  pkt.data[off] = static_cast<std::uint8_t>(v >> 8);
+  pkt.data[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+std::optional<ParsedLayers> ParsedLayers::parse(const Packet& pkt) {
+  BufReader r(pkt.data);
+  ParsedLayers out;
+  auto eth = EthernetHeader::decode(r);
+  if (!eth) return std::nullopt;
+  out.eth = *eth;
+
+  std::uint16_t next_type = out.eth.ether_type;
+  if (next_type == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    out.vlan_offset = r.offset();
+    auto vlan = VlanHeader::decode(r);
+    if (!vlan) return out;
+    out.vlan = *vlan;
+    next_type = vlan->ether_type;
+  }
+
+  if (next_type == static_cast<std::uint16_t>(EtherType::kNsh)) {
+    out.nsh_offset = r.offset();
+    auto nsh = NshHeader::decode(r);
+    if (!nsh) {
+      out.payload_offset = out.nsh_offset;
+      return out;
+    }
+    out.nsh = *nsh;
+    next_type = nsh->next_proto == kNshProtoIpv4
+                    ? static_cast<std::uint16_t>(EtherType::kIpv4)
+                    : 0;
+  }
+
+  if (next_type == static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    out.ipv4_offset = r.offset();
+    auto ipv4 = Ipv4Header::decode(r);
+    if (!ipv4) {
+      out.payload_offset = out.ipv4_offset;
+      return out;
+    }
+    out.ipv4 = *ipv4;
+    out.l4_offset = r.offset();
+    if (ipv4->protocol == static_cast<std::uint8_t>(IpProto::kTcp)) {
+      out.tcp = TcpHeader::decode(r);
+    } else if (ipv4->protocol == static_cast<std::uint8_t>(IpProto::kUdp)) {
+      out.udp = UdpHeader::decode(r);
+    }
+  }
+  out.payload_offset = r.offset();
+  return out;
+}
+
+void patch_ipv4(Packet& pkt, const ParsedLayers& layers, const Ipv4Header& h) {
+  assert(layers.ipv4.has_value());
+  std::vector<std::uint8_t> tmp;
+  tmp.reserve(Ipv4Header::kMinSize);
+  BufWriter w(tmp);
+  h.encode(w);
+  assert(layers.ipv4_offset + tmp.size() <= pkt.data.size());
+  std::copy(tmp.begin(), tmp.end(), pkt.data.begin() +
+            static_cast<std::ptrdiff_t>(layers.ipv4_offset));
+}
+
+void patch_l4_ports(Packet& pkt, const ParsedLayers& layers,
+                    std::uint16_t src_port, std::uint16_t dst_port) {
+  if (!layers.tcp && !layers.udp) return;
+  write_u16(pkt, layers.l4_offset, src_port);
+  write_u16(pkt, layers.l4_offset + 2, dst_port);
+}
+
+void push_vlan(Packet& pkt, std::uint16_t vid, std::uint8_t pcp) {
+  if (pkt.data.size() < EthernetHeader::kSize) return;
+  const std::uint16_t inner_type = read_u16(pkt, 12);
+  write_u16(pkt, 12, static_cast<std::uint16_t>(EtherType::kVlan));
+  VlanHeader tag;
+  tag.pcp = pcp;
+  tag.vid = vid;
+  tag.ether_type = inner_type;
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(VlanHeader::kSize);
+  BufWriter w(bytes);
+  tag.encode(w);
+  pkt.data.insert(pkt.data.begin() + EthernetHeader::kSize, bytes.begin(),
+                  bytes.end());
+}
+
+std::optional<VlanHeader> pop_vlan(Packet& pkt) {
+  auto layers = ParsedLayers::parse(pkt);
+  if (!layers || !layers->vlan) return std::nullopt;
+  const VlanHeader tag = *layers->vlan;
+  write_u16(pkt, 12, tag.ether_type);
+  const auto begin =
+      pkt.data.begin() + static_cast<std::ptrdiff_t>(layers->vlan_offset);
+  pkt.data.erase(begin, begin + VlanHeader::kSize);
+  return tag;
+}
+
+void push_nsh(Packet& pkt, std::uint32_t spi, std::uint8_t si) {
+  auto layers = ParsedLayers::parse(pkt);
+  if (!layers || layers->nsh) return;  // Never double-encapsulate.
+  const std::size_t type_off = outer_ethertype_offset(*layers);
+  const std::uint16_t inner_type = read_u16(pkt, type_off);
+  write_u16(pkt, type_off, static_cast<std::uint16_t>(EtherType::kNsh));
+  NshHeader nsh;
+  nsh.spi = spi;
+  nsh.si = si;
+  nsh.next_proto = inner_type == static_cast<std::uint16_t>(EtherType::kIpv4)
+                       ? kNshProtoIpv4
+                       : kNshProtoEthernet;
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(NshHeader::kSize);
+  BufWriter w(bytes);
+  nsh.encode(w);
+  pkt.data.insert(pkt.data.begin() + static_cast<std::ptrdiff_t>(type_off + 2),
+                  bytes.begin(), bytes.end());
+}
+
+std::optional<NshHeader> pop_nsh(Packet& pkt) {
+  auto layers = ParsedLayers::parse(pkt);
+  if (!layers || !layers->nsh) return std::nullopt;
+  const NshHeader nsh = *layers->nsh;
+  const std::size_t type_off = outer_ethertype_offset(*layers);
+  const std::uint16_t inner_type =
+      nsh.next_proto == kNshProtoIpv4
+          ? static_cast<std::uint16_t>(EtherType::kIpv4)
+          : static_cast<std::uint16_t>(EtherType::kIpv4);
+  write_u16(pkt, type_off, inner_type);
+  const auto begin =
+      pkt.data.begin() + static_cast<std::ptrdiff_t>(layers->nsh_offset);
+  pkt.data.erase(begin, begin + NshHeader::kSize);
+  return nsh;
+}
+
+bool set_nsh(Packet& pkt, std::uint32_t spi, std::uint8_t si) {
+  auto layers = ParsedLayers::parse(pkt);
+  if (!layers || !layers->nsh) return false;
+  NshHeader nsh = *layers->nsh;
+  nsh.spi = spi;
+  nsh.si = si;
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(NshHeader::kSize);
+  BufWriter w(bytes);
+  nsh.encode(w);
+  std::copy(bytes.begin(), bytes.end(),
+            pkt.data.begin() + static_cast<std::ptrdiff_t>(layers->nsh_offset));
+  return true;
+}
+
+}  // namespace lemur::net

@@ -1,0 +1,78 @@
+// The packet representation shared by every simulated platform.
+//
+// A Packet owns its wire bytes plus simulation metadata (virtual arrival
+// time, ingress port, drop flag). ParsedLayers is a one-pass parse of the
+// layer stack with byte offsets retained so NFs can patch headers in place;
+// push/pop helpers rebuild the buffer for encapsulation changes (VLAN, NSH).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/net/headers.h"
+
+namespace lemur::net {
+
+/// A packet travelling through the simulated rack.
+struct Packet {
+  std::vector<std::uint8_t> data;  ///< Full frame starting at Ethernet.
+
+  std::uint64_t arrival_ns = 0;  ///< Virtual time the packet entered the rack.
+  std::uint32_t ingress_port = 0;
+  std::uint32_t aggregate_id = 0;  ///< Traffic aggregate (customer) id.
+  bool drop = false;               ///< Set by an NF to discard the packet.
+
+  [[nodiscard]] std::size_t size() const { return data.size(); }
+};
+
+/// Result of parsing a packet's layer stack. Offsets index into
+/// Packet::data and remain valid until the buffer is resized.
+struct ParsedLayers {
+  EthernetHeader eth;
+  std::optional<VlanHeader> vlan;
+  std::optional<NshHeader> nsh;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+
+  std::size_t vlan_offset = 0;  ///< Valid when vlan is set.
+  std::size_t nsh_offset = 0;   ///< Valid when nsh is set.
+  std::size_t ipv4_offset = 0;  ///< Valid when ipv4 is set.
+  std::size_t l4_offset = 0;    ///< Valid when tcp or udp is set.
+  std::size_t payload_offset = 0;
+
+  /// Parses eth [vlan] [nsh] [ipv4 [tcp|udp]]; returns nullopt only when the
+  /// Ethernet header itself is truncated. Unknown EtherTypes simply stop the
+  /// parse with payload_offset at the unparsed remainder.
+  static std::optional<ParsedLayers> parse(const Packet& pkt);
+};
+
+/// Re-encodes the IPv4 header (with a fresh checksum) at its parsed offset.
+void patch_ipv4(Packet& pkt, const ParsedLayers& layers, const Ipv4Header& h);
+
+/// Rewrites TCP/UDP ports at the parsed L4 offset. No-op if neither parsed.
+void patch_l4_ports(Packet& pkt, const ParsedLayers& layers,
+                    std::uint16_t src_port, std::uint16_t dst_port);
+
+/// Inserts an 802.1Q tag directly after the Ethernet header (outermost tag).
+void push_vlan(Packet& pkt, std::uint16_t vid, std::uint8_t pcp = 0);
+
+/// Removes the outermost 802.1Q tag; returns the removed header, or nullopt
+/// if the packet carries no tag.
+std::optional<VlanHeader> pop_vlan(Packet& pkt);
+
+/// Inserts an NSH header after Ethernet (and after any VLAN tag), setting
+/// the Ethernet/VLAN EtherType to NSH and recording the previous EtherType
+/// as the NSH next protocol context.
+void push_nsh(Packet& pkt, std::uint32_t spi, std::uint8_t si);
+
+/// Removes the NSH header, restoring the inner EtherType. Returns the
+/// removed header or nullopt if the packet has none.
+std::optional<NshHeader> pop_nsh(Packet& pkt);
+
+/// Rewrites the SPI/SI of an existing NSH header in place; returns false if
+/// the packet carries no NSH header.
+bool set_nsh(Packet& pkt, std::uint32_t spi, std::uint8_t si);
+
+}  // namespace lemur::net

@@ -1,0 +1,82 @@
+#include "src/net/pcap.h"
+
+#include <cstdio>
+
+namespace lemur::net {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // Microsecond timestamps.
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+void put_u32(std::FILE* f, std::uint32_t v) {
+  std::fwrite(&v, sizeof(v), 1, f);  // Host (little-endian) order.
+}
+
+void put_u16(std::FILE* f, std::uint16_t v) {
+  std::fwrite(&v, sizeof(v), 1, f);
+}
+
+bool get_u32(std::FILE* f, std::uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  put_u32(file_, kMagic);
+  put_u16(file_, 2);   // Version major.
+  put_u16(file_, 4);   // Version minor.
+  put_u32(file_, 0);   // Timezone offset.
+  put_u32(file_, 0);   // Timestamp accuracy.
+  put_u32(file_, 65535);  // Snap length.
+  put_u32(file_, kLinkTypeEthernet);
+}
+
+PcapWriter::~PcapWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void PcapWriter::write(const Packet& pkt, std::uint64_t timestamp_ns) {
+  if (file_ == nullptr) return;
+  put_u32(file_, static_cast<std::uint32_t>(timestamp_ns / 1'000'000'000));
+  put_u32(file_,
+          static_cast<std::uint32_t>(timestamp_ns % 1'000'000'000 / 1000));
+  put_u32(file_, static_cast<std::uint32_t>(pkt.data.size()));
+  put_u32(file_, static_cast<std::uint32_t>(pkt.data.size()));
+  std::fwrite(pkt.data.data(), 1, pkt.data.size(), file_);
+  std::fflush(file_);  // Keep the capture readable while still open.
+  ++packets_;
+}
+
+std::vector<PcapRecord> read_pcap(const std::string& path) {
+  std::vector<PcapRecord> out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  std::uint32_t magic = 0;
+  if (!get_u32(f, &magic) || magic != kMagic) {
+    std::fclose(f);
+    return out;
+  }
+  std::fseek(f, 24, SEEK_SET);  // Past the global header.
+  while (true) {
+    std::uint32_t sec = 0, usec = 0, caplen = 0, origlen = 0;
+    if (!get_u32(f, &sec) || !get_u32(f, &usec) || !get_u32(f, &caplen) ||
+        !get_u32(f, &origlen)) {
+      break;
+    }
+    if (caplen > 1 << 20) break;  // Corrupt record.
+    PcapRecord record;
+    record.timestamp_ns =
+        static_cast<std::uint64_t>(sec) * 1'000'000'000 +
+        static_cast<std::uint64_t>(usec) * 1000;
+    record.data.resize(caplen);
+    if (std::fread(record.data.data(), 1, caplen, f) != caplen) break;
+    out.push_back(std::move(record));
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace lemur::net

@@ -1,0 +1,43 @@
+// Minimal pcap (libpcap classic format) writer/reader so operators can
+// open the simulated testbed's traffic in Wireshark. Little-endian
+// magic, microsecond timestamps, LINKTYPE_ETHERNET.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace lemur::net {
+
+class PcapWriter {
+ public:
+  /// Opens `path` and writes the global header; ok() reports failure.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  /// Appends one packet; the timestamp comes from `timestamp_ns`.
+  void write(const Packet& pkt, std::uint64_t timestamp_ns);
+
+  [[nodiscard]] std::size_t packets_written() const { return packets_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t packets_ = 0;
+};
+
+struct PcapRecord {
+  std::uint64_t timestamp_ns = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// Reads every record of a classic little-endian pcap file; returns an
+/// empty vector on malformed input.
+std::vector<PcapRecord> read_pcap(const std::string& path);
+
+}  // namespace lemur::net

@@ -1,0 +1,227 @@
+#include "src/nf/crypto/aes128.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lemur::nf::crypto {
+namespace {
+
+// FIPS-197 S-box.
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+std::uint8_t inv_sbox(std::uint8_t y) {
+  // Built once at startup from kSbox.
+  static const auto table = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (int i = 0; i < 256; ++i) t[kSbox[i]] = static_cast<std::uint8_t>(i);
+    return t;
+  }();
+  return table[y];
+}
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  while (b != 0) {
+    if (b & 1) result ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return result;
+}
+
+using State = std::array<std::uint8_t, 16>;  // Column-major, as FIPS-197.
+
+void add_round_key(State& s, const std::array<std::uint8_t, 16>& rk) {
+  for (std::size_t i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+void sub_bytes(State& s) {
+  for (auto& b : s) b = kSbox[b];
+}
+
+void inv_sub_bytes(State& s) {
+  for (auto& b : s) b = inv_sbox(b);
+}
+
+// State layout: s[4*col + row].
+void shift_rows(State& s) {
+  State t = s;
+  for (int row = 1; row < 4; ++row) {
+    for (int col = 0; col < 4; ++col) {
+      s[static_cast<std::size_t>(4 * col + row)] =
+          t[static_cast<std::size_t>(4 * ((col + row) % 4) + row)];
+    }
+  }
+}
+
+void inv_shift_rows(State& s) {
+  State t = s;
+  for (int row = 1; row < 4; ++row) {
+    for (int col = 0; col < 4; ++col) {
+      s[static_cast<std::size_t>(4 * ((col + row) % 4) + row)] =
+          t[static_cast<std::size_t>(4 * col + row)];
+    }
+  }
+}
+
+void mix_columns(State& s) {
+  for (int col = 0; col < 4; ++col) {
+    auto* c = &s[static_cast<std::size_t>(4 * col)];
+    const std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+    c[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    c[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    c[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    c[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+void inv_mix_columns(State& s) {
+  for (int col = 0; col < 4; ++col) {
+    auto* c = &s[static_cast<std::size_t>(4 * col)];
+    const std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+    c[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
+    c[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
+    c[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
+    c[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
+  }
+}
+
+}  // namespace
+
+Aes128::Aes128(std::span<const std::uint8_t, kKeySize> key) {
+  std::copy(key.begin(), key.end(), round_keys_[0].begin());
+  for (int round = 1; round <= 10; ++round) {
+    const auto& prev = round_keys_[static_cast<std::size_t>(round - 1)];
+    auto& rk = round_keys_[static_cast<std::size_t>(round)];
+    // First word: RotWord + SubWord + Rcon.
+    rk[0] = prev[0] ^ kSbox[prev[13]] ^ kRcon[round - 1];
+    rk[1] = prev[1] ^ kSbox[prev[14]];
+    rk[2] = prev[2] ^ kSbox[prev[15]];
+    rk[3] = prev[3] ^ kSbox[prev[12]];
+    for (std::size_t i = 4; i < 16; ++i) rk[i] = prev[i] ^ rk[i - 4];
+  }
+}
+
+void Aes128::encrypt_block(std::span<std::uint8_t, kBlockSize> block) const {
+  State s;
+  std::copy(block.begin(), block.end(), s.begin());
+  add_round_key(s, round_keys_[0]);
+  for (int round = 1; round < 10; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, round_keys_[static_cast<std::size_t>(round)]);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, round_keys_[10]);
+  std::copy(s.begin(), s.end(), block.begin());
+}
+
+void Aes128::decrypt_block(std::span<std::uint8_t, kBlockSize> block) const {
+  State s;
+  std::copy(block.begin(), block.end(), s.begin());
+  add_round_key(s, round_keys_[10]);
+  for (int round = 9; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, round_keys_[static_cast<std::size_t>(round)]);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, round_keys_[0]);
+  std::copy(s.begin(), s.end(), block.begin());
+}
+
+namespace {
+
+// Keystream block for the length-preserving tail: encrypt of the previous
+// ciphertext (or IV) with the column pattern inverted so it differs from
+// a regular CBC block.
+void tail_mask(const Aes128& cipher, const std::uint8_t* prev,
+               std::uint8_t* mask) {
+  std::array<std::uint8_t, 16> block;
+  for (std::size_t i = 0; i < 16; ++i) {
+    block[i] = static_cast<std::uint8_t>(prev[i] ^ 0xa5);
+  }
+  cipher.encrypt_block(std::span<std::uint8_t, 16>(block));
+  std::memcpy(mask, block.data(), 16);
+}
+
+}  // namespace
+
+void aes128_cbc_encrypt(const Aes128& cipher,
+                        std::span<const std::uint8_t, 16> iv,
+                        std::span<std::uint8_t> data) {
+  std::array<std::uint8_t, 16> prev;
+  std::copy(iv.begin(), iv.end(), prev.begin());
+  std::size_t off = 0;
+  for (; off + 16 <= data.size(); off += 16) {
+    for (std::size_t i = 0; i < 16; ++i) data[off + i] ^= prev[i];
+    std::span<std::uint8_t, 16> block(data.data() + off, 16);
+    cipher.encrypt_block(block);
+    std::copy(block.begin(), block.end(), prev.begin());
+  }
+  if (off < data.size()) {
+    std::array<std::uint8_t, 16> mask;
+    tail_mask(cipher, prev.data(), mask.data());
+    for (std::size_t i = 0; off + i < data.size(); ++i) {
+      data[off + i] ^= mask[i];
+    }
+  }
+}
+
+void aes128_cbc_decrypt(const Aes128& cipher,
+                        std::span<const std::uint8_t, 16> iv,
+                        std::span<std::uint8_t> data) {
+  std::array<std::uint8_t, 16> prev;
+  std::copy(iv.begin(), iv.end(), prev.begin());
+  std::size_t off = 0;
+  for (; off + 16 <= data.size(); off += 16) {
+    std::array<std::uint8_t, 16> ciphertext;
+    std::memcpy(ciphertext.data(), data.data() + off, 16);
+    std::span<std::uint8_t, 16> block(data.data() + off, 16);
+    cipher.decrypt_block(block);
+    for (std::size_t i = 0; i < 16; ++i) data[off + i] ^= prev[i];
+    prev = ciphertext;
+  }
+  if (off < data.size()) {
+    std::array<std::uint8_t, 16> mask;
+    tail_mask(cipher, prev.data(), mask.data());
+    for (std::size_t i = 0; off + i < data.size(); ++i) {
+      data[off + i] ^= mask[i];
+    }
+  }
+}
+
+}  // namespace lemur::nf::crypto

@@ -1,0 +1,42 @@
+// AES-128 block cipher and CBC mode, as used by the paper's Encrypt and
+// Decrypt NFs ("128-bit AES-CBC", Table 3). Constant-table reference
+// implementation (this simulator measures cost via cycle profiles, not
+// wall-clock, so a bit-sliced implementation would add nothing).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace lemur::nf::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  explicit Aes128(std::span<const std::uint8_t, kKeySize> key);
+
+  /// Encrypts/decrypts one 16-byte block in place.
+  void encrypt_block(std::span<std::uint8_t, kBlockSize> block) const;
+  void decrypt_block(std::span<std::uint8_t, kBlockSize> block) const;
+
+ private:
+  // 11 round keys of 16 bytes.
+  std::array<std::array<std::uint8_t, kBlockSize>, 11> round_keys_{};
+};
+
+/// CBC over the whole-block prefix of `data`; any trailing partial block
+/// is XOR-masked with a keystream derived from the last ciphertext block,
+/// so the transformation is length-preserving (required for in-place
+/// packet payload encryption).
+void aes128_cbc_encrypt(const Aes128& cipher,
+                        std::span<const std::uint8_t, 16> iv,
+                        std::span<std::uint8_t> data);
+
+/// Inverse of aes128_cbc_encrypt.
+void aes128_cbc_decrypt(const Aes128& cipher,
+                        std::span<const std::uint8_t, 16> iv,
+                        std::span<std::uint8_t> data);
+
+}  // namespace lemur::nf::crypto

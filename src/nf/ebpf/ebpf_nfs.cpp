@@ -1,0 +1,389 @@
+#include "src/nf/ebpf/ebpf_nfs.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/nic/assembler.h"
+
+namespace lemur::nf::ebpf {
+namespace {
+
+using nic::Assembler;
+using nic::Helper;
+using nic::Op;
+using nic::Program;
+using nic::Reg;
+using nic::XdpAction;
+
+// Register conventions across generated programs:
+//   r6 = packet base (saved from r1), r7 = packet length (saved from r2),
+//   r5 = absolute IPv4 header base, r8 = absolute L4 header base,
+//   r3/r4/r9 = scratch, r0 = return action.
+
+void emit_prologue(Assembler& a) {
+  a.mov_reg(Reg::kR6, Reg::kR1);
+  a.mov_reg(Reg::kR7, Reg::kR2);
+}
+
+void emit_exit_action(Assembler& a, XdpAction action) {
+  a.mov_imm(Reg::kR0, static_cast<std::int64_t>(action));
+  a.exit();
+}
+
+/// Parses Ethernet [VLAN] [NSH] and leaves r5 = absolute IPv4 base.
+/// Non-IPv4 packets jump to `not_ipv4`.
+void emit_parse_to_l3(Assembler& a, Assembler::Label not_ipv4) {
+  a.ldx(Op::kLdxH, Reg::kR3, Reg::kR6, 12);  // Outer EtherType.
+  a.mov_reg(Reg::kR5, Reg::kR6);
+  a.alu_imm(Op::kAddImm, Reg::kR5, 14);
+
+  auto no_vlan = a.make_label();
+  a.jmp_imm(Op::kJneImm, Reg::kR3, 0x8100, no_vlan);
+  a.ldx(Op::kLdxH, Reg::kR3, Reg::kR6, 16);  // Inner EtherType.
+  a.alu_imm(Op::kAddImm, Reg::kR5, 4);
+  a.bind(no_vlan);
+
+  auto no_nsh = a.make_label();
+  auto ipv4 = a.make_label();
+  a.jmp_imm(Op::kJneImm, Reg::kR3, 0x894f, no_nsh);
+  // NSH (2-word base+path header): inner protocol is IPv4 in Lemur chains.
+  a.alu_imm(Op::kAddImm, Reg::kR5, 8);
+  a.ja(ipv4);
+  a.bind(no_nsh);
+  a.jmp_imm(Op::kJeqImm, Reg::kR3, 0x0800, ipv4);
+  a.ja(not_ipv4);
+  a.bind(ipv4);
+}
+
+/// After emit_parse_to_l3: leaves r8 = absolute L4 base and r3 = protocol.
+void emit_l4_base(Assembler& a) {
+  a.ldx(Op::kLdxB, Reg::kR4, Reg::kR5, 0);  // Version+IHL.
+  a.alu_imm(Op::kAndImm, Reg::kR4, 0x0f);
+  a.alu_imm(Op::kLshImm, Reg::kR4, 2);  // IHL in bytes.
+  a.mov_reg(Reg::kR8, Reg::kR5);
+  a.alu_reg(Op::kAddReg, Reg::kR8, Reg::kR4);
+  a.ldx(Op::kLdxB, Reg::kR3, Reg::kR5, 9);  // Protocol.
+}
+
+Program finish_or_trap(Assembler& a) {
+  auto program = a.finish();
+  // Generators only emit forward labels, so finish() cannot fail; return
+  // an explicit abort program if an invariant was somehow violated.
+  if (!program) {
+    Assembler trap;
+    trap.mov_imm(Reg::kR0, 0);
+    trap.exit();
+    return *trap.finish();
+  }
+  return *program;
+}
+
+}  // namespace
+
+Program gen_fast_encrypt() {
+  Assembler a;
+  emit_prologue(a);
+  auto pass = a.make_label();
+  emit_parse_to_l3(a, pass);
+  emit_l4_base(a);
+
+  // L4 header length: TCP 20, UDP 8, anything else passes untouched.
+  auto is_udp = a.make_label();
+  auto have_l4 = a.make_label();
+  a.jmp_imm(Op::kJeqImm, Reg::kR3, 17, is_udp);
+  a.jmp_imm(Op::kJneImm, Reg::kR3, 6, pass);
+  a.alu_imm(Op::kAddImm, Reg::kR8, 20);  // TCP header.
+  a.ja(have_l4);
+  a.bind(is_udp);
+  a.alu_imm(Op::kAddImm, Reg::kR8, 8);  // UDP header.
+  a.bind(have_l4);
+
+  // Helper args: r1 = payload offset, r2 = payload length.
+  a.mov_reg(Reg::kR1, Reg::kR8);
+  a.alu_reg(Op::kSubReg, Reg::kR1, Reg::kR6);  // Absolute -> offset.
+  a.mov_reg(Reg::kR2, Reg::kR7);
+  a.alu_reg(Op::kSubReg, Reg::kR2, Reg::kR1);  // len - offset.
+  // Empty payload: skip the helper.
+  a.jmp_imm(Op::kJeqImm, Reg::kR2, 0, pass);
+  a.call(Helper::kChaCha20);
+
+  a.bind(pass);
+  emit_exit_action(a, XdpAction::kTx);
+  return finish_or_trap(a);
+}
+
+Program gen_tunnel(std::uint16_t vid) {
+  Assembler a;
+  emit_prologue(a);
+  // Grow 4 bytes at the front; old byte i lands at i+4.
+  a.mov_imm(Reg::kR1, -4);
+  a.call(Helper::kAdjustHead);
+  // Move the MAC addresses (old 0..11, now at 4..15) back to 0..11.
+  a.ldx(Op::kLdxDw, Reg::kR3, Reg::kR1, 4);
+  a.stx(Op::kStxDw, Reg::kR1, 0, Reg::kR3);
+  a.ldx(Op::kLdxW, Reg::kR3, Reg::kR1, 12);
+  a.stx(Op::kStxW, Reg::kR1, 8, Reg::kR3);
+  // 802.1Q TPID + TCI. The old EtherType sits at 16 already.
+  a.mov_imm(Reg::kR3, 0x8100);
+  a.stx(Op::kStxH, Reg::kR1, 12, Reg::kR3);
+  a.mov_imm(Reg::kR3, vid & 0xfff);
+  a.stx(Op::kStxH, Reg::kR1, 14, Reg::kR3);
+  emit_exit_action(a, XdpAction::kTx);
+  return finish_or_trap(a);
+}
+
+Program gen_detunnel() {
+  Assembler a;
+  emit_prologue(a);
+  auto pass = a.make_label();
+  a.ldx(Op::kLdxH, Reg::kR3, Reg::kR6, 12);
+  a.jmp_imm(Op::kJneImm, Reg::kR3, 0x8100, pass);
+  // Shift the MAC addresses forward over the tag (copy high-to-low to
+  // dodge overlap), then shrink 4 from the front.
+  a.ldx(Op::kLdxW, Reg::kR3, Reg::kR6, 8);
+  a.stx(Op::kStxW, Reg::kR6, 12, Reg::kR3);
+  a.ldx(Op::kLdxDw, Reg::kR3, Reg::kR6, 0);
+  a.stx(Op::kStxDw, Reg::kR6, 4, Reg::kR3);
+  a.mov_imm(Reg::kR1, 4);
+  a.call(Helper::kAdjustHead);
+  a.bind(pass);
+  emit_exit_action(a, XdpAction::kTx);
+  return finish_or_trap(a);
+}
+
+Program gen_ipv4fwd(const std::vector<EbpfRoute>& routes) {
+  // Longest prefixes first = first-match is longest-match.
+  std::vector<EbpfRoute> sorted = routes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const EbpfRoute& x, const EbpfRoute& y) {
+              return x.prefix_len > y.prefix_len;
+            });
+  Assembler a;
+  emit_prologue(a);
+  auto pass = a.make_label();
+  emit_parse_to_l3(a, pass);
+  a.ldx(Op::kLdxW, Reg::kR9, Reg::kR5, 16);  // Destination IP.
+
+  auto out = a.make_label();
+  for (const auto& route : sorted) {
+    auto next_rule = a.make_label();
+    if (route.prefix_len <= 0) {
+      // Default route: unconditional.
+    } else {
+      a.mov_reg(Reg::kR4, Reg::kR9);
+      if (route.prefix_len < 32) {
+        a.alu_imm(Op::kRshImm, Reg::kR4, 32 - route.prefix_len);
+      }
+      const std::uint32_t want =
+          route.prefix_len < 32 ? route.prefix >> (32 - route.prefix_len)
+                                : route.prefix;
+      a.jmp_imm(Op::kJneImm, Reg::kR4, want, next_rule);
+    }
+    // Hit: rewrite the next-hop MAC (02:fe:00:00:00:<port>).
+    a.mov_imm(Reg::kR3, 0x02fe);
+    a.stx(Op::kStxH, Reg::kR6, 0, Reg::kR3);
+    a.mov_imm(Reg::kR3, route.port);
+    a.stx(Op::kStxW, Reg::kR6, 2, Reg::kR3);
+    a.ja(out);
+    a.bind(next_rule);
+  }
+  a.bind(out);
+  a.bind(pass);
+  emit_exit_action(a, XdpAction::kTx);
+  return finish_or_trap(a);
+}
+
+Program gen_acl(const std::vector<AclRule>& rules) {
+  Assembler a;
+  emit_prologue(a);
+  auto pass = a.make_label();
+  emit_parse_to_l3(a, pass);
+  emit_l4_base(a);
+  auto drop = a.make_label();
+
+  for (const auto& rule : rules) {
+    auto next_rule = a.make_label();
+    if (rule.src && rule.src->length > 0) {
+      a.ldx(Op::kLdxW, Reg::kR4, Reg::kR5, 12);
+      if (rule.src->length < 32) {
+        a.alu_imm(Op::kRshImm, Reg::kR4, 32 - rule.src->length);
+      }
+      const std::uint32_t want = rule.src->length < 32
+                                     ? rule.src->addr.value >>
+                                           (32 - rule.src->length)
+                                     : rule.src->addr.value;
+      a.jmp_imm(Op::kJneImm, Reg::kR4, want, next_rule);
+    }
+    if (rule.dst && rule.dst->length > 0) {
+      a.ldx(Op::kLdxW, Reg::kR4, Reg::kR5, 16);
+      if (rule.dst->length < 32) {
+        a.alu_imm(Op::kRshImm, Reg::kR4, 32 - rule.dst->length);
+      }
+      const std::uint32_t want = rule.dst->length < 32
+                                     ? rule.dst->addr.value >>
+                                           (32 - rule.dst->length)
+                                     : rule.dst->addr.value;
+      a.jmp_imm(Op::kJneImm, Reg::kR4, want, next_rule);
+    }
+    if (rule.proto) {
+      a.ldx(Op::kLdxB, Reg::kR4, Reg::kR5, 9);
+      a.jmp_imm(Op::kJneImm, Reg::kR4, *rule.proto, next_rule);
+    }
+    if (rule.src_port) {
+      a.ldx(Op::kLdxH, Reg::kR4, Reg::kR8, 0);
+      a.jmp_imm(Op::kJneImm, Reg::kR4, *rule.src_port, next_rule);
+    }
+    if (rule.dst_port) {
+      a.ldx(Op::kLdxH, Reg::kR4, Reg::kR8, 2);
+      a.jmp_imm(Op::kJneImm, Reg::kR4, *rule.dst_port, next_rule);
+    }
+    // All present fields matched.
+    if (rule.drop) {
+      a.ja(drop);
+    } else {
+      a.ja(pass);
+    }
+    a.bind(next_rule);
+  }
+
+  a.bind(pass);
+  emit_exit_action(a, XdpAction::kTx);
+  a.bind(drop);
+  emit_exit_action(a, XdpAction::kDrop);
+  return finish_or_trap(a);
+}
+
+Program gen_match(const std::vector<MatchRule>& rules) {
+  Assembler a;
+  emit_prologue(a);
+  auto pass = a.make_label();
+  emit_parse_to_l3(a, pass);
+  emit_l4_base(a);
+  auto done = a.make_label();
+
+  for (const auto& rule : rules) {
+    auto next_rule = a.make_label();
+    // Load the classification field into r4.
+    if (rule.field == "dst_ip") {
+      a.ldx(Op::kLdxW, Reg::kR4, Reg::kR5, 16);
+    } else if (rule.field == "src_ip") {
+      a.ldx(Op::kLdxW, Reg::kR4, Reg::kR5, 12);
+    } else if (rule.field == "proto") {
+      a.ldx(Op::kLdxB, Reg::kR4, Reg::kR5, 9);
+    } else if (rule.field == "dscp") {
+      a.ldx(Op::kLdxB, Reg::kR4, Reg::kR5, 1);
+    } else if (rule.field == "dst_port") {
+      a.ldx(Op::kLdxH, Reg::kR4, Reg::kR8, 2);
+    } else if (rule.field == "src_port") {
+      a.ldx(Op::kLdxH, Reg::kR4, Reg::kR8, 0);
+    } else if (rule.field == "vlan_tag") {
+      // Only meaningful on tagged frames; untagged read yields EtherType
+      // bits, so gate on the TPID first.
+      a.ldx(Op::kLdxH, Reg::kR4, Reg::kR6, 12);
+      a.jmp_imm(Op::kJneImm, Reg::kR4, 0x8100, next_rule);
+      a.ldx(Op::kLdxH, Reg::kR4, Reg::kR6, 14);
+      a.alu_imm(Op::kAndImm, Reg::kR4, 0xfff);
+    } else {
+      a.mov_imm(Reg::kR4, 0);
+    }
+    a.alu_imm(Op::kAndImm, Reg::kR4,
+              static_cast<std::int64_t>(rule.mask));
+    a.jmp_imm(Op::kJneImm, Reg::kR4,
+              static_cast<std::int64_t>(rule.value & rule.mask), next_rule);
+    // Hit: mark dscp = gate, fix the header checksum.
+    a.mov_imm(Reg::kR3, rule.gate);
+    a.stx(Op::kStxB, Reg::kR5, 1, Reg::kR3);
+    a.mov_reg(Reg::kR1, Reg::kR5);
+    a.alu_reg(Op::kSubReg, Reg::kR1, Reg::kR6);
+    a.call(Helper::kIpv4CsumFixup);
+    a.ja(done);
+    a.bind(next_rule);
+  }
+
+  a.bind(done);
+  a.bind(pass);
+  emit_exit_action(a, XdpAction::kTx);
+  return finish_or_trap(a);
+}
+
+Program gen_lb(std::uint32_t vip, std::uint32_t backend_base, int backends) {
+  Assembler a;
+  emit_prologue(a);
+  auto pass = a.make_label();
+  emit_parse_to_l3(a, pass);
+  a.ldx(Op::kLdxW, Reg::kR4, Reg::kR5, 16);
+  a.jmp_imm(Op::kJneImm, Reg::kR4, vip, pass);
+  a.call(Helper::kFlowHash);  // r0 = 5-tuple hash.
+  a.alu_imm(Op::kModImm, Reg::kR0, backends > 0 ? backends : 1);
+  a.alu_imm(Op::kAddImm, Reg::kR0, backend_base);
+  a.stx(Op::kStxW, Reg::kR5, 16, Reg::kR0);
+  a.mov_reg(Reg::kR1, Reg::kR5);
+  a.alu_reg(Op::kSubReg, Reg::kR1, Reg::kR6);
+  a.call(Helper::kIpv4CsumFixup);
+  a.bind(pass);
+  emit_exit_action(a, XdpAction::kTx);
+  return finish_or_trap(a);
+}
+
+std::optional<Program> generate(NfType type, const NfConfig& config) {
+  switch (type) {
+    case NfType::kFastEncrypt:
+      return gen_fast_encrypt();
+    case NfType::kTunnel:
+      return gen_tunnel(
+          static_cast<std::uint16_t>(config.int_or("vlan_tag", 100)));
+    case NfType::kDetunnel:
+      return gen_detunnel();
+    case NfType::kIpv4Fwd: {
+      std::vector<EbpfRoute> routes;
+      for (const auto& rule : config.rules) {
+        auto p = rule.find("prefix");
+        if (p == rule.end()) continue;
+        auto prefix = net::Ipv4Prefix::parse(p->second);
+        if (!prefix) continue;
+        EbpfRoute r;
+        r.prefix = prefix->addr.value;
+        r.prefix_len = prefix->length;
+        auto port = rule.find("port");
+        if (port != rule.end()) {
+          r.port = static_cast<std::uint8_t>(std::atoi(port->second.c_str()));
+        }
+        routes.push_back(r);
+      }
+      return gen_ipv4fwd(routes);
+    }
+    case NfType::kAcl:
+      return gen_acl(parse_acl_rules(config));
+    case NfType::kMatch: {
+      // Reuse MatchNf's config parsing to avoid drift between platforms.
+      MatchNf reference(config);
+      return gen_match(reference.match_rules());
+    }
+    case NfType::kLb: {
+      const auto vip =
+          net::Ipv4Addr::parse(config.string_or("vip", "10.100.0.1"))
+              .value_or(net::Ipv4Addr{0x0a640001});
+      const auto base =
+          net::Ipv4Addr::parse(config.string_or("backend_base", "10.200.0.1"))
+              .value_or(net::Ipv4Addr{0x0ac80001});
+      return gen_lb(vip.value, base.value,
+                    static_cast<int>(config.int_or("backends", 4)));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string describe(NfType type, const NfConfig& config) {
+  auto program = generate(type, config);
+  if (!program) return "";
+  std::ostringstream out;
+  out << "// XDP program for " << spec_of(type).name << " ("
+      << program->size() << " instructions)\n";
+  for (std::size_t i = 0; i < program->size(); ++i) {
+    out << i << ": " << nic::disassemble((*program)[i]) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lemur::nf::ebpf

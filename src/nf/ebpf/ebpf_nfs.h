@@ -1,0 +1,64 @@
+// eBPF code generators for the NIC-capable NFs (Table 3's eBPF column):
+// FastEncrypt, Tunnel, Detunnel, IPv4Fwd, LB, Match, ACL.
+//
+// Programs are generated with rules baked in as unrolled compare/jump
+// chains (the standard technique for map-less XDP offload, and how the
+// paper's authors coped with the Agilio verifier: "loop unrolling to
+// avoid for (back-edge), and inlining all function calls"). Every
+// generator produces a standalone XDP program that parses the frame
+// (handling an optional NSH shim between Ethernet and IPv4, since Lemur
+// chains carry NSH between platforms), applies the NF, and exits with
+// XDP_TX (or XDP_DROP).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/nf/nf_spec.h"
+#include "src/nf/software/header_nfs.h"
+#include "src/nic/ebpf_isa.h"
+
+namespace lemur::nf::ebpf {
+
+/// XDP program running the ChaCha20 helper over the L4 payload.
+nic::Program gen_fast_encrypt();
+
+/// Pushes an 802.1Q tag with the given vid (adjust_head + header move).
+nic::Program gen_tunnel(std::uint16_t vid);
+
+/// Pops the outermost 802.1Q tag; passes untagged packets unchanged.
+nic::Program gen_detunnel();
+
+/// LPM forwarding unrolled over routes (longest prefix emitted first);
+/// rewrites the destination MAC's low byte to the chosen port.
+struct EbpfRoute {
+  std::uint32_t prefix = 0;
+  int prefix_len = 0;
+  std::uint8_t port = 0;
+};
+nic::Program gen_ipv4fwd(const std::vector<EbpfRoute>& routes);
+
+/// First-match ACL unrolled over rules; drop rules exit XDP_DROP.
+nic::Program gen_acl(const std::vector<AclRule>& rules);
+
+/// DSCP-marking classifier: packets matching rule i get dscp = gate_i
+/// (the NIC-side analogue of Match's gate steering).
+nic::Program gen_match(const std::vector<MatchRule>& rules);
+
+/// Hash-based L4 load balancer: flows to `vip` are rewritten to
+/// backend_base + (flowhash % backends), checksum fixed up.
+nic::Program gen_lb(std::uint32_t vip, std::uint32_t backend_base,
+                    int backends);
+
+/// Generates the program for an NF type from its NfConfig, or nullopt if
+/// the type has no eBPF implementation. The single metacompiler entry
+/// point for the SmartNIC target.
+std::optional<nic::Program> generate(NfType type, const NfConfig& config);
+
+/// Pseudo-C source the generator would have produced for a human reading
+/// the artifact (used for LoC accounting like the paper's "412 lines of
+/// C" eBPF library).
+std::string describe(NfType type, const NfConfig& config);
+
+}  // namespace lemur::nf::ebpf

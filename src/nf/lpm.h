@@ -1,0 +1,45 @@
+// Longest-prefix-match table over IPv4 prefixes, shared by the IPv4Fwd
+// NF implementations on every platform and by the runtime's routing glue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/net/addr.h"
+
+namespace lemur::nf {
+
+template <typename Value>
+class LpmTable {
+ public:
+  void insert(net::Ipv4Prefix prefix, Value value) {
+    entries_.push_back({prefix, std::move(value)});
+  }
+
+  /// Longest matching prefix's value, or nullopt.
+  [[nodiscard]] std::optional<Value> lookup(net::Ipv4Addr ip) const {
+    const Entry* best = nullptr;
+    for (const auto& e : entries_) {
+      if (e.prefix.contains(ip) &&
+          (best == nullptr || e.prefix.length > best->prefix.length)) {
+        best = &e;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return best->value;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  struct Entry {
+    net::Ipv4Prefix prefix;
+    Value value;
+  };
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lemur::nf

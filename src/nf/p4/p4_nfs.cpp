@@ -1,0 +1,380 @@
+#include "src/nf/p4/p4_nfs.h"
+
+#include <map>
+
+#include "src/nf/software/header_nfs.h"
+
+namespace lemur::nf::p4 {
+namespace {
+
+using pisa::ActionDef;
+using pisa::HeaderDef;
+using pisa::MatchField;
+using pisa::MatchKind;
+using pisa::MatchValue;
+using pisa::ParserGraph;
+using pisa::PrimitiveOp;
+using pisa::TableDef;
+using pisa::TableEntry;
+
+PrimitiveOp op_set_param(const std::string& field, int param) {
+  PrimitiveOp op;
+  op.kind = PrimitiveOp::Kind::kSetFieldParam;
+  op.field = field;
+  op.param = param;
+  return op;
+}
+
+PrimitiveOp op_set_imm(const std::string& field, std::int64_t imm) {
+  PrimitiveOp op;
+  op.kind = PrimitiveOp::Kind::kSetFieldImm;
+  op.field = field;
+  op.imm = imm;
+  return op;
+}
+
+PrimitiveOp op_kind(PrimitiveOp::Kind kind, int param = 0) {
+  PrimitiveOp op;
+  op.kind = kind;
+  op.param = param;
+  return op;
+}
+
+ActionDef action_nop() {
+  ActionDef a;
+  a.name = "nop";
+  a.ops.push_back(PrimitiveOp{});
+  return a;
+}
+
+const std::map<std::string, HeaderDef>& header_library() {
+  static const std::map<std::string, HeaderDef> lib = {
+      {"eth",
+       {"eth", {{"dst", 48}, {"src", 48}, {"type", 16}}}},
+      {"vlan", {"vlan", {{"pcp", 3}, {"dei", 1}, {"vid", 12}, {"type", 16}}}},
+      {"nsh",
+       {"nsh",
+        {{"flags", 16}, {"mdtype", 8}, {"next", 8}, {"spi", 24}, {"si", 8}}}},
+      {"ipv4",
+       {"ipv4",
+        {{"ver_ihl", 8},
+         {"dscp", 8},
+         {"len", 16},
+         {"id", 16},
+         {"frag", 16},
+         {"ttl", 8},
+         {"proto", 8},
+         {"csum", 16},
+         {"src", 32},
+         {"dst", 32}}}},
+      {"tcp",
+       {"tcp",
+        {{"sport", 16}, {"dport", 16}, {"seq", 32}, {"ack", 32},
+         {"flags", 16}, {"win", 16}, {"csum", 16}, {"urg", 16}}}},
+      {"udp", {"udp", {{"sport", 16}, {"dport", 16}, {"len", 16},
+                       {"csum", 16}}}},
+  };
+  return lib;
+}
+
+std::uint64_t prefix_to_lpm_value(const net::Ipv4Prefix& prefix) {
+  return prefix.addr.value;
+}
+
+}  // namespace
+
+const HeaderDef& standard_header(const std::string& name) {
+  return header_library().at(name);
+}
+
+ParserGraph eth_ipv4_parser() {
+  ParserGraph g;
+  g.root = "eth";
+  g.states = {"eth", "vlan", "ipv4"};
+  g.transitions = {
+      {"eth", "eth.type", 0x8100, "vlan"},
+      {"eth", "eth.type", 0x0800, "ipv4"},
+      {"vlan", "vlan.type", 0x0800, "ipv4"},
+  };
+  return g;
+}
+
+std::optional<P4NfBundle> make_p4_nf(NfType type, const NfConfig& config) {
+  const NfSpec& spec = spec_of(type);
+  if (!spec.has_p4) return std::nullopt;
+
+  P4NfBundle bundle;
+  bundle.headers = {standard_header("eth")};
+  bundle.parser.root = "eth";
+  bundle.parser.states = {"eth"};
+
+  auto use_ipv4 = [&bundle] {
+    bundle.headers.push_back(standard_header("vlan"));
+    bundle.headers.push_back(standard_header("ipv4"));
+    bundle.parser = eth_ipv4_parser();
+  };
+  auto use_l4 = [&bundle] {
+    bundle.headers.push_back(standard_header("tcp"));
+    bundle.headers.push_back(standard_header("udp"));
+    bundle.parser.add_state("tcp");
+    bundle.parser.add_state("udp");
+    bundle.parser.transitions.push_back({"ipv4", "ipv4.proto", 6, "tcp"});
+    bundle.parser.transitions.push_back({"ipv4", "ipv4.proto", 17, "udp"});
+  };
+
+  switch (type) {
+    case NfType::kTunnel: {
+      bundle.headers.push_back(standard_header("vlan"));
+      TableDef t;
+      t.name = "tunnel";
+      t.size = 1;
+      ActionDef push;
+      push.name = "push_tag";
+      push.num_params = 1;
+      push.ops.push_back(op_kind(PrimitiveOp::Kind::kPushVlanParam, 0));
+      t.actions = {push};
+      t.default_action = "push_tag";
+      t.default_params = {
+          static_cast<std::uint64_t>(config.int_or("vlan_tag", 100))};
+      bundle.tables.push_back(std::move(t));
+      bundle.control = {pisa::TableApply{0, {}}};
+      break;
+    }
+    case NfType::kDetunnel: {
+      bundle.headers.push_back(standard_header("vlan"));
+      bundle.parser.add_state("vlan");
+      bundle.parser.transitions.push_back(
+          {"eth", "eth.type", 0x8100, "vlan"});
+      TableDef t;
+      t.name = "detunnel";
+      t.size = 1;
+      ActionDef pop;
+      pop.name = "pop_tag";
+      pop.ops.push_back(op_kind(PrimitiveOp::Kind::kPopVlan));
+      t.actions = {pop};
+      t.default_action = "pop_tag";
+      bundle.tables.push_back(std::move(t));
+      bundle.control = {pisa::TableApply{0, {}}};
+      break;
+    }
+    case NfType::kIpv4Fwd: {
+      use_ipv4();
+      TableDef t;
+      t.name = "ipv4_fwd";
+      t.match = {{"ipv4.dst", MatchKind::kLpm, 32}};
+      t.size = std::max<int>(16, static_cast<int>(config.rules.size()) + 1);
+      ActionDef fwd;
+      fwd.name = "set_next_hop";
+      fwd.num_params = 2;
+      fwd.ops.push_back(op_set_param("eth.dst", 0));
+      fwd.ops.push_back(op_kind(PrimitiveOp::Kind::kEgressParam, 1));
+      t.actions = {fwd, action_nop()};
+      t.default_action = "nop";
+      bundle.tables.push_back(std::move(t));
+      bundle.control = {pisa::TableApply{0, {}}};
+      for (const auto& dict : config.rules) {
+        auto p = dict.find("prefix");
+        if (p == dict.end()) continue;
+        auto prefix = net::Ipv4Prefix::parse(p->second);
+        if (!prefix) continue;
+        std::uint64_t port = 0;
+        auto port_it = dict.find("port");
+        if (port_it != dict.end()) {
+          port = static_cast<std::uint64_t>(
+              std::atoi(port_it->second.c_str()));
+        }
+        TableEntry entry;
+        entry.key = {MatchValue::lpm(prefix_to_lpm_value(*prefix),
+                                     prefix->length)};
+        entry.action = "set_next_hop";
+        entry.params = {0x02fe00000000ull | port, port};
+        bundle.entries.emplace_back("ipv4_fwd", std::move(entry));
+      }
+      break;
+    }
+    case NfType::kNat: {
+      use_ipv4();
+      use_l4();
+      const auto external =
+          net::Ipv4Addr::parse(config.string_or("external_ip", "100.64.0.1"))
+              .value_or(net::Ipv4Addr{0x64400001});
+      // Forward table: port-preserving source NAT for inside traffic
+      // (hardware NATs keep the port mapping static; dynamic allocation
+      // punts to the controller). Reverse table: controller-installed
+      // mappings back to inside addresses.
+      TableDef fwd;
+      fwd.name = "nat_fwd";
+      fwd.match = {{"ipv4.dst", MatchKind::kExact, 32}};
+      fwd.size = 4;
+      ActionDef snat;
+      snat.name = "snat";
+      snat.num_params = 1;
+      snat.ops.push_back(op_set_param("ipv4.src", 0));
+      fwd.actions = {snat, action_nop()};
+      fwd.default_action = "snat";
+      fwd.default_params = {external.value};
+      TableDef rev;
+      rev.name = "nat_rev";
+      rev.match = {{"ipv4.dst", MatchKind::kExact, 32},
+                   {"l4.dport", MatchKind::kExact, 16}};
+      rev.size = static_cast<int>(config.int_or("entries", 12000));
+      ActionDef dnat;
+      dnat.name = "dnat";
+      dnat.num_params = 2;
+      dnat.ops.push_back(op_set_param("ipv4.dst", 0));
+      dnat.ops.push_back(op_set_param("l4.dport", 1));
+      dnat.ops.push_back(op_set_imm("meta.nat_hit", 1));
+      rev.actions = {dnat, action_nop()};
+      rev.default_action = "nop";
+      bundle.tables.push_back(std::move(rev));
+      bundle.tables.push_back(std::move(fwd));
+      // Reverse translation first; forward SNAT only when the reverse
+      // table did not claim the packet.
+      pisa::TableApply rev_apply{0, {}};
+      pisa::TableApply fwd_apply{1, {}};
+      fwd_apply.guard.all_of.push_back(
+          {"meta.nat_hit", pisa::Condition::Cmp::kEq, 0});
+      bundle.control = {rev_apply, fwd_apply};
+      break;
+    }
+    case NfType::kLb: {
+      use_ipv4();
+      const auto vip =
+          net::Ipv4Addr::parse(config.string_or("vip", "10.100.0.1"))
+              .value_or(net::Ipv4Addr{0x0a640001});
+      const auto base =
+          net::Ipv4Addr::parse(config.string_or("backend_base", "10.200.0.1"))
+              .value_or(net::Ipv4Addr{0x0ac80001});
+      TableDef t;
+      t.name = "lb";
+      t.match = {{"ipv4.dst", MatchKind::kExact, 32}};
+      t.size = 16;
+      ActionDef pick;
+      pick.name = "pick_backend";
+      pick.num_params = 2;
+      PrimitiveOp hash = op_kind(PrimitiveOp::Kind::kHashSelectParams, 0);
+      hash.field = "ipv4.dst";
+      pick.ops.push_back(hash);
+      t.actions = {pick, action_nop()};
+      t.default_action = "nop";
+      bundle.tables.push_back(std::move(t));
+      bundle.control = {pisa::TableApply{0, {}}};
+      TableEntry entry;
+      entry.key = {MatchValue::exact(vip.value)};
+      entry.action = "pick_backend";
+      entry.params = {static_cast<std::uint64_t>(config.int_or("backends", 4)),
+                      base.value};
+      bundle.entries.emplace_back("lb", std::move(entry));
+      break;
+    }
+    case NfType::kMatch: {
+      use_ipv4();
+      use_l4();
+      TableDef t;
+      t.name = "classify";
+      // A generic 5-field ternary classifier, like hardware BPF offload.
+      t.match = {{"ipv4.src", MatchKind::kTernary, 32},
+                 {"ipv4.dst", MatchKind::kTernary, 32},
+                 {"ipv4.proto", MatchKind::kTernary, 8},
+                 {"l4.sport", MatchKind::kTernary, 16},
+                 {"l4.dport", MatchKind::kTernary, 16}};
+      t.size = std::max<int>(16, static_cast<int>(config.rules.size()) + 1);
+      ActionDef set_gate;
+      set_gate.name = "set_gate";
+      set_gate.num_params = 1;
+      set_gate.ops.push_back(op_set_param("meta.branch", 0));
+      ActionDef default_gate;
+      default_gate.name = "default_gate";
+      default_gate.ops.push_back(op_set_imm("meta.branch", 0));
+      t.actions = {set_gate, default_gate};
+      t.default_action = "default_gate";
+      bundle.tables.push_back(std::move(t));
+      bundle.control = {pisa::TableApply{0, {}}};
+      // Entries: reuse the software Match config parsing.
+      MatchNf reference(config);
+      int priority = 100;
+      for (const auto& rule : reference.match_rules()) {
+        TableEntry entry;
+        entry.key = {MatchValue::wildcard(), MatchValue::wildcard(),
+                     MatchValue::wildcard(), MatchValue::wildcard(),
+                     MatchValue::wildcard()};
+        const std::uint64_t masked = rule.value & rule.mask;
+        if (rule.field == "src_ip") {
+          entry.key[0] = MatchValue::ternary(masked, rule.mask);
+        } else if (rule.field == "dst_ip") {
+          entry.key[1] = MatchValue::ternary(masked, rule.mask);
+        } else if (rule.field == "proto") {
+          entry.key[2] = MatchValue::ternary(masked, rule.mask);
+        } else if (rule.field == "src_port") {
+          entry.key[3] = MatchValue::ternary(masked, rule.mask);
+        } else if (rule.field == "dst_port") {
+          entry.key[4] = MatchValue::ternary(masked, rule.mask);
+        } else {
+          continue;  // vlan_tag matching stays in software/eBPF.
+        }
+        entry.priority = priority--;
+        entry.action = "set_gate";
+        entry.params = {static_cast<std::uint64_t>(rule.gate)};
+        bundle.entries.emplace_back("classify", std::move(entry));
+      }
+      break;
+    }
+    case NfType::kAcl: {
+      use_ipv4();
+      use_l4();
+      TableDef t;
+      t.name = "acl";
+      t.match = {{"ipv4.src", MatchKind::kTernary, 32},
+                 {"ipv4.dst", MatchKind::kTernary, 32},
+                 {"ipv4.proto", MatchKind::kTernary, 8},
+                 {"l4.sport", MatchKind::kTernary, 16},
+                 {"l4.dport", MatchKind::kTernary, 16}};
+      t.size = std::max<int>(
+          static_cast<int>(config.int_or("rules_size", 1024)),
+          static_cast<int>(config.rules.size()) + 1);
+      ActionDef deny;
+      deny.name = "deny";
+      deny.ops.push_back(op_kind(PrimitiveOp::Kind::kDrop));
+      t.actions = {deny, action_nop()};
+      t.default_action = "nop";  // Default permit, as in software.
+      bundle.tables.push_back(std::move(t));
+      bundle.control = {pisa::TableApply{0, {}}};
+      int priority = 1000;
+      for (const auto& rule : parse_acl_rules(config)) {
+        TableEntry entry;
+        entry.key = {MatchValue::wildcard(), MatchValue::wildcard(),
+                     MatchValue::wildcard(), MatchValue::wildcard(),
+                     MatchValue::wildcard()};
+        auto prefix_mask = [](const net::Ipv4Prefix& p) {
+          return p.length >= 32 ? 0xffffffffull
+                                : ~((1ull << (32 - p.length)) - 1) &
+                                      0xffffffffull;
+        };
+        if (rule.src) {
+          entry.key[0] = MatchValue::ternary(rule.src->addr.value,
+                                             prefix_mask(*rule.src));
+        }
+        if (rule.dst) {
+          entry.key[1] = MatchValue::ternary(rule.dst->addr.value,
+                                             prefix_mask(*rule.dst));
+        }
+        if (rule.proto) entry.key[2] = MatchValue::ternary(*rule.proto, 0xff);
+        if (rule.src_port) {
+          entry.key[3] = MatchValue::ternary(*rule.src_port, 0xffff);
+        }
+        if (rule.dst_port) {
+          entry.key[4] = MatchValue::ternary(*rule.dst_port, 0xffff);
+        }
+        entry.priority = priority--;
+        entry.action = rule.drop ? "deny" : "nop";
+        bundle.entries.emplace_back("acl", std::move(entry));
+      }
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return bundle;
+}
+
+}  // namespace lemur::nf::p4

@@ -1,0 +1,44 @@
+// Standalone P4 NF library (paper section 4.2, "Defining standalone P4
+// NFs"): each P4-capable NF contributes a bundle of headers, an NF-local
+// parser graph, match-action tables, a local control fragment, and the
+// runtime entries its configuration implies. The metacompiler composes
+// bundles into one unified P4Program (name-mangling tables, merging
+// parsers, deduplicating headers).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/nf/nf_spec.h"
+#include "src/pisa/switch_sim.h"
+
+namespace lemur::nf::p4 {
+
+struct P4NfBundle {
+  std::vector<pisa::HeaderDef> headers;
+  pisa::ParserGraph parser;
+  std::vector<pisa::TableDef> tables;   ///< Names local to the bundle.
+  /// Local control order: applies with bundle-local guards (table indices
+  /// reference `tables`). The metacompiler conjoins chain-level guards.
+  std::vector<pisa::TableApply> control;
+  /// Runtime entries keyed by local table name.
+  std::vector<std::pair<std::string, pisa::TableEntry>> entries;
+};
+
+/// The predefined header library (eth, vlan, nsh, ipv4, tcp, udp) the
+/// paper provides for parser composability; NF developers reference these
+/// by name.
+const pisa::HeaderDef& standard_header(const std::string& name);
+
+/// Parser fragment that recognizes eth -> [vlan] -> ipv4, used by NFs
+/// that match on IP fields.
+pisa::ParserGraph eth_ipv4_parser();
+
+/// Builds the standalone bundle for `type`, or nullopt when the NF has no
+/// P4 implementation (Table 3). `instance` scopes nothing here — table
+/// names are mangled by the metacompiler — but is used to derive
+/// deterministic constants (e.g. NAT's external port base).
+std::optional<P4NfBundle> make_p4_nf(NfType type, const NfConfig& config);
+
+}  // namespace lemur::nf::p4

@@ -1,0 +1,75 @@
+#include "src/nf/software/crypto_nfs.h"
+
+#include "src/net/packet.h"
+
+namespace lemur::nf {
+
+void derive_key_material(const std::string& passphrase,
+                         std::span<std::uint8_t> out) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : passphrase) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    h ^= i + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+    out[i] = static_cast<std::uint8_t>(h >> 32);
+  }
+}
+
+std::span<std::uint8_t> l4_payload(net::Packet& pkt) {
+  auto layers = net::ParsedLayers::parse(pkt);
+  if (!layers || (!layers->tcp && !layers->udp)) return {};
+  if (layers->payload_offset >= pkt.data.size()) return {};
+  return {pkt.data.data() + layers->payload_offset,
+          pkt.data.size() - layers->payload_offset};
+}
+
+namespace {
+
+crypto::Aes128 make_cipher(const NfConfig& config) {
+  std::array<std::uint8_t, 16> key;
+  derive_key_material(config.string_or("key", "lemur-default-key"), key);
+  return crypto::Aes128(key);
+}
+
+}  // namespace
+
+EncryptNf::EncryptNf(NfConfig config, bool decrypt)
+    : SoftwareNf(decrypt ? NfType::kDecrypt : NfType::kEncrypt,
+                 std::move(config)),
+      cipher_(make_cipher(this->config())),
+      decrypt_(decrypt) {
+  derive_key_material(this->config().string_or("iv", "lemur-iv"), iv_);
+}
+
+int EncryptNf::process(net::Packet& pkt) {
+  auto payload = l4_payload(pkt);
+  if (payload.empty()) return 0;  // Nothing to encrypt; pass through.
+  if (decrypt_) {
+    crypto::aes128_cbc_decrypt(cipher_, iv_, payload);
+  } else {
+    crypto::aes128_cbc_encrypt(cipher_, iv_, payload);
+  }
+  return 0;
+}
+
+FastEncryptNf::FastEncryptNf(NfConfig config)
+    : SoftwareNf(NfType::kFastEncrypt, std::move(config)) {
+  derive_key_material(this->config().string_or("key", "lemur-chacha-key"),
+                      key_);
+  derive_key_material(this->config().string_or("nonce", "lemur-nonce"),
+                      nonce_);
+}
+
+int FastEncryptNf::process(net::Packet& pkt) {
+  auto payload = l4_payload(pkt);
+  if (payload.empty()) return 0;
+  // Counter restarts per packet: XOR stream, so encrypt == decrypt.
+  crypto::ChaCha20 cipher(key_, nonce_, 0);
+  cipher.apply(payload);
+  return 0;
+}
+
+}  // namespace lemur::nf

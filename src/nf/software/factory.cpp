@@ -1,0 +1,44 @@
+#include "src/nf/software/factory.h"
+
+#include "src/nf/software/crypto_nfs.h"
+#include "src/nf/software/header_nfs.h"
+#include "src/nf/software/payload_nfs.h"
+#include "src/nf/software/stateful_nfs.h"
+
+namespace lemur::nf {
+
+std::unique_ptr<SoftwareNf> make_software_nf(NfType type, NfConfig config) {
+  switch (type) {
+    case NfType::kEncrypt:
+      return std::make_unique<EncryptNf>(std::move(config), false);
+    case NfType::kDecrypt:
+      return std::make_unique<EncryptNf>(std::move(config), true);
+    case NfType::kFastEncrypt:
+      return std::make_unique<FastEncryptNf>(std::move(config));
+    case NfType::kDedup:
+      return std::make_unique<DedupNf>(std::move(config));
+    case NfType::kTunnel:
+      return std::make_unique<TunnelNf>(std::move(config));
+    case NfType::kDetunnel:
+      return std::make_unique<DetunnelNf>(std::move(config));
+    case NfType::kIpv4Fwd:
+      return std::make_unique<Ipv4FwdNf>(std::move(config));
+    case NfType::kLimiter:
+      return std::make_unique<LimiterNf>(std::move(config));
+    case NfType::kUrlFilter:
+      return std::make_unique<UrlFilterNf>(std::move(config));
+    case NfType::kMonitor:
+      return std::make_unique<MonitorNf>(std::move(config));
+    case NfType::kNat:
+      return std::make_unique<NatNf>(std::move(config));
+    case NfType::kLb:
+      return std::make_unique<LbNf>(std::move(config));
+    case NfType::kMatch:
+      return std::make_unique<MatchNf>(std::move(config));
+    case NfType::kAcl:
+      return std::make_unique<AclNf>(std::move(config));
+  }
+  return nullptr;
+}
+
+}  // namespace lemur::nf

@@ -1,0 +1,16 @@
+// Factory for server-side NF instances: the metacompiler's "library of NF
+// implementations" entry point for the BESS target.
+#pragma once
+
+#include <memory>
+
+#include "src/nf/software/software_nf.h"
+
+namespace lemur::nf {
+
+/// Instantiates the C++ implementation of `type` with `config`.
+/// Every NfType has a C++ implementation (Table 3's C++ column is full),
+/// so this never returns nullptr for a valid enumerator.
+std::unique_ptr<SoftwareNf> make_software_nf(NfType type, NfConfig config);
+
+}  // namespace lemur::nf

@@ -1,0 +1,246 @@
+#include "src/nf/software/payload_nfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/nf/software/crypto_nfs.h"
+
+namespace lemur::nf {
+namespace {
+
+std::uint64_t fingerprint(std::span<const std::uint8_t> chunk) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::uint8_t b : chunk) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::uint8_t kShimMarker = 0xD5;
+
+/// Rabin-style rolling hash over a fixed window (polynomial accumulator
+/// with precomputed eviction multiplier).
+class RollingHash {
+ public:
+  static constexpr std::size_t kWindow = 16;
+  static constexpr std::uint64_t kBase = 1099511628211ull;
+
+  RollingHash() {
+    evict_ = 1;
+    for (std::size_t i = 0; i + 1 < kWindow; ++i) evict_ *= kBase;
+  }
+
+  void push(std::uint8_t in, std::uint8_t out, bool full) {
+    if (full) hash_ -= evict_ * out;
+    hash_ = hash_ * kBase + in;
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0;
+  std::uint64_t evict_ = 1;
+};
+
+}  // namespace
+
+DedupNf::DedupNf(NfConfig config)
+    : SoftwareNf(NfType::kDedup, std::move(config)),
+      content_defined_(this->config().string_or("chunking", "fixed") ==
+                       "content"),
+      chunk_bytes_(static_cast<std::size_t>(
+          this->config().int_or("chunk_bytes", 64))),
+      min_chunk_(static_cast<std::size_t>(
+          this->config().int_or("min_chunk", 32))),
+      max_chunk_(static_cast<std::size_t>(
+          this->config().int_or("max_chunk", 256))),
+      cache_entries_(static_cast<std::size_t>(
+          this->config().int_or("cache_entries", 4096))) {}
+
+std::vector<std::size_t> DedupNf::chunk_ends(
+    std::span<const std::uint8_t> payload) const {
+  std::vector<std::size_t> ends;
+  if (!content_defined_) {
+    for (std::size_t off = chunk_bytes_; off <= payload.size();
+         off += chunk_bytes_) {
+      ends.push_back(off);
+    }
+    return ends;
+  }
+  // Content-defined: boundary where the rolling hash's low bits are zero
+  // (expected chunk ~64 B for a 6-bit mask), clamped to [min, max].
+  constexpr std::uint64_t kBoundaryMask = 0x3f;
+  RollingHash rolling;
+  std::size_t chunk_start = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const bool window_full = i >= RollingHash::kWindow;
+    rolling.push(payload[i],
+                 window_full ? payload[i - RollingHash::kWindow] : 0,
+                 window_full);
+    const std::size_t len = i + 1 - chunk_start;
+    const bool at_boundary =
+        len >= min_chunk_ &&
+        ((rolling.value() & kBoundaryMask) == 0 || len >= max_chunk_);
+    if (at_boundary) {
+      ends.push_back(i + 1);
+      chunk_start = i + 1;
+    }
+  }
+  return ends;
+}
+
+int DedupNf::process(net::Packet& pkt) {
+  auto payload = l4_payload(pkt);
+  bytes_in_ += pkt.size();
+  const auto ends = chunk_ends(payload);
+  if (ends.empty()) {
+    bytes_out_ += pkt.size();
+    return 0;
+  }
+  // Rewrite the payload chunk by chunk into a compacted buffer.
+  std::vector<std::uint8_t> compacted;
+  compacted.reserve(payload.size());
+  std::size_t off = 0;
+  for (std::size_t end : ends) {
+    std::span<const std::uint8_t> chunk(payload.data() + off, end - off);
+    off = end;
+    const std::uint64_t fp = fingerprint(chunk);
+    auto it = cache_.find(fp);
+    if (it != cache_.end() && chunk.size() > 8) {
+      // Known chunk: emit an 8-byte shim (marker + 7 fingerprint bytes).
+      ++it->second;
+      ++chunks_deduped_;
+      compacted.push_back(kShimMarker);
+      for (int i = 0; i < 7; ++i) {
+        compacted.push_back(static_cast<std::uint8_t>(fp >> (8 * i)));
+      }
+    } else {
+      if (it == cache_.end()) {
+        if (cache_.size() >= cache_entries_ && !eviction_order_.empty()) {
+          cache_.erase(eviction_order_.front());
+          eviction_order_.pop_front();
+        }
+        cache_.emplace(fp, 1);
+        eviction_order_.push_back(fp);
+      }
+      compacted.insert(compacted.end(), chunk.begin(), chunk.end());
+    }
+  }
+  // Tail after the last boundary passes through verbatim.
+  compacted.insert(compacted.end(), payload.begin() + off, payload.end());
+
+  if (compacted.size() < payload.size()) {
+    const std::size_t header_bytes = pkt.data.size() - payload.size();
+    pkt.data.resize(header_bytes + compacted.size());
+    std::memcpy(pkt.data.data() + header_bytes, compacted.data(),
+                compacted.size());
+    // Fix the IP/UDP length fields so the packet stays parseable.
+    auto layers = net::ParsedLayers::parse(pkt);
+    if (layers && layers->ipv4) {
+      net::Ipv4Header ip = *layers->ipv4;
+      const std::size_t l3_bytes = pkt.data.size() - layers->ipv4_offset;
+      ip.total_length = static_cast<std::uint16_t>(l3_bytes);
+      net::patch_ipv4(pkt, *layers, ip);
+    }
+  }
+  bytes_out_ += pkt.size();
+  return 0;
+}
+
+AhoCorasick::AhoCorasick(const std::vector<std::string>& patterns) {
+  nodes_.emplace_back();  // Root.
+  // Trie construction.
+  for (const auto& pattern : patterns) {
+    int state = 0;
+    for (char c : pattern) {
+      const auto byte = static_cast<std::uint8_t>(c);
+      auto it = nodes_[static_cast<std::size_t>(state)].next.find(byte);
+      if (it == nodes_[static_cast<std::size_t>(state)].next.end()) {
+        nodes_.emplace_back();
+        const int created = static_cast<int>(nodes_.size()) - 1;
+        nodes_[static_cast<std::size_t>(state)].next.emplace(byte, created);
+        state = created;
+      } else {
+        state = it->second;
+      }
+    }
+    if (!pattern.empty()) nodes_[static_cast<std::size_t>(state)].output = true;
+  }
+  // Failure links, BFS order.
+  std::deque<int> queue;
+  for (const auto& [byte, child] : nodes_[0].next) queue.push_back(child);
+  while (!queue.empty()) {
+    const int state = queue.front();
+    queue.pop_front();
+    for (const auto& [byte, child] : nodes_[static_cast<std::size_t>(state)]
+                                         .next) {
+      queue.push_back(child);
+      int fail = nodes_[static_cast<std::size_t>(state)].fail;
+      while (fail != 0 &&
+             nodes_[static_cast<std::size_t>(fail)].next.count(byte) == 0) {
+        fail = nodes_[static_cast<std::size_t>(fail)].fail;
+      }
+      auto it = nodes_[static_cast<std::size_t>(fail)].next.find(byte);
+      const int target = (it != nodes_[static_cast<std::size_t>(fail)]
+                                    .next.end() &&
+                          it->second != child)
+                             ? it->second
+                             : 0;
+      auto& child_node = nodes_[static_cast<std::size_t>(child)];
+      child_node.fail = target;
+      child_node.output =
+          child_node.output || nodes_[static_cast<std::size_t>(target)].output;
+    }
+  }
+}
+
+bool AhoCorasick::matches(std::span<const std::uint8_t> text) const {
+  if (nodes_.size() <= 1) return false;
+  int state = 0;
+  for (std::uint8_t byte : text) {
+    while (true) {
+      auto it = nodes_[static_cast<std::size_t>(state)].next.find(byte);
+      if (it != nodes_[static_cast<std::size_t>(state)].next.end()) {
+        state = it->second;
+        break;
+      }
+      if (state == 0) break;
+      state = nodes_[static_cast<std::size_t>(state)].fail;
+    }
+    if (nodes_[static_cast<std::size_t>(state)].output) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<std::string> extract_patterns(const NfConfig& config) {
+  std::vector<std::string> out;
+  for (const auto& rule : config.rules) {
+    auto it = rule.find("pattern");
+    if (it != rule.end() && !it->second.empty()) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+UrlFilterNf::UrlFilterNf(NfConfig config)
+    : SoftwareNf(NfType::kUrlFilter, std::move(config)),
+      patterns_(extract_patterns(this->config())),
+      matcher_(patterns_) {}
+
+int UrlFilterNf::process(net::Packet& pkt) {
+  auto payload = l4_payload(pkt);
+  if (payload.empty() || patterns_.empty()) return 0;
+  if (matcher_.matches(payload)) {
+    ++filtered_;
+    return kDrop;
+  }
+  return 0;
+}
+
+}  // namespace lemur::nf

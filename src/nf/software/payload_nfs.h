@@ -1,0 +1,98 @@
+// Payload-processing NFs: Dedup (EndRE-style network redundancy
+// elimination) and UrlFilter (HTML/URL substring filtering).
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nf/software/software_nf.h"
+
+namespace lemur::nf {
+
+/// Network redundancy elimination a la EndRE [1]: the payload is split
+/// into chunks; chunks whose fingerprint is already in the cache are
+/// replaced by an 8-byte shim (fingerprint reference), shrinking the
+/// packet — so the NF's egress byte rate is below its ingress rate, the
+/// data-dependent property the paper calls out.
+///
+/// Two chunkers, selected by config "chunking":
+///  - "fixed" (default): fixed-size chunks of "chunk_bytes" (default 64).
+///  - "content": EndRE-style content-defined chunking — a Rabin rolling
+///    hash over a sliding window places chunk boundaries where the hash
+///    matches a mask, so insertions shift boundaries only locally and
+///    shifted-but-identical content still dedups.
+/// Other config: "cache_entries" (default 4096), "min_chunk"/"max_chunk"
+/// for the content chunker (defaults 32/256).
+class DedupNf : public SoftwareNf {
+ public:
+  explicit DedupNf(NfConfig config);
+  int process(net::Packet& pkt) override;
+
+  [[nodiscard]] std::uint64_t bytes_in() const { return bytes_in_; }
+  [[nodiscard]] std::uint64_t bytes_out() const { return bytes_out_; }
+  [[nodiscard]] std::uint64_t chunks_deduped() const {
+    return chunks_deduped_;
+  }
+
+  /// Chunk boundaries (end offsets) the active chunker produces for a
+  /// payload — exposed for the content-chunking invariance tests.
+  [[nodiscard]] std::vector<std::size_t> chunk_ends(
+      std::span<const std::uint8_t> payload) const;
+
+ private:
+  bool content_defined_;
+  std::size_t chunk_bytes_;
+  std::size_t min_chunk_;
+  std::size_t max_chunk_;
+  std::size_t cache_entries_;
+  /// Fingerprint -> hit count; FIFO eviction via insertion order queue.
+  std::unordered_map<std::uint64_t, std::uint32_t> cache_;
+  std::deque<std::uint64_t> eviction_order_;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+  std::uint64_t chunks_deduped_ = 0;
+};
+
+/// Multi-pattern string matcher (Aho-Corasick) used by UrlFilter: one
+/// pass over the payload regardless of pattern count, the standard
+/// middlebox technique for URL/signature filtering.
+class AhoCorasick {
+ public:
+  explicit AhoCorasick(const std::vector<std::string>& patterns);
+
+  /// True if any pattern occurs in `text`.
+  [[nodiscard]] bool matches(std::span<const std::uint8_t> text) const;
+
+  [[nodiscard]] std::size_t num_states() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::unordered_map<std::uint8_t, int> next;
+    int fail = 0;
+    bool output = false;
+  };
+  std::vector<Node> nodes_;
+};
+
+/// Drops packets whose L4 payload contains any blocked token.
+/// Config `rules`: {'pattern': "malware.example"}; default list blocks
+/// nothing.
+class UrlFilterNf : public SoftwareNf {
+ public:
+  explicit UrlFilterNf(NfConfig config);
+  int process(net::Packet& pkt) override;
+
+  [[nodiscard]] std::uint64_t filtered() const { return filtered_; }
+  [[nodiscard]] const std::vector<std::string>& patterns() const {
+    return patterns_;
+  }
+
+ private:
+  std::vector<std::string> patterns_;
+  AhoCorasick matcher_;
+  std::uint64_t filtered_ = 0;
+};
+
+}  // namespace lemur::nf

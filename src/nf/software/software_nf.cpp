@@ -1,0 +1,34 @@
+#include "src/nf/software/software_nf.h"
+
+#include <map>
+
+namespace lemur::nf {
+
+std::uint64_t worst_case_cycles(NfType type, const NfConfig& config) {
+  const double mean =
+      static_cast<double>(effective_cycle_cost(type, config));
+  return static_cast<std::uint64_t>(mean * (1.0 + kCostJitter));
+}
+
+NfModule::NfModule(std::string name, std::unique_ptr<SoftwareNf> nf)
+    : Module(std::move(name)), nf_(std::move(nf)) {}
+
+void NfModule::process(bess::Context& ctx, net::PacketBatch&& batch) {
+  count_in(batch);
+  const double mean = static_cast<double>(nf_->mean_cycles());
+  std::uniform_real_distribution<double> jitter(1.0 - kCostJitter,
+                                                1.0 + kCostJitter);
+  std::map<int, net::PacketBatch> out;
+  for (auto& pkt : batch) {
+    ctx.charge_scaled(static_cast<std::uint64_t>(mean * jitter(ctx.rng())));
+    const int gate = nf_->process(pkt);
+    if (gate == SoftwareNf::kDrop || pkt.drop) {
+      ++drops_;
+      continue;
+    }
+    out[gate].push(std::move(pkt));
+  }
+  for (auto& [gate, sub] : out) emit(ctx, gate, std::move(sub));
+}
+
+}  // namespace lemur::nf

@@ -1,0 +1,165 @@
+#include "src/nf/software/stateful_nfs.h"
+
+#include <algorithm>
+
+namespace lemur::nf {
+
+LimiterNf::LimiterNf(NfConfig config)
+    : SoftwareNf(NfType::kLimiter, std::move(config)),
+      rate_bits_per_ns_(
+          static_cast<double>(this->config().int_or("rate_mbps", 10000)) *
+          1e6 / 1e9),
+      burst_bits_(
+          static_cast<double>(this->config().int_or("burst_kb", 256)) * 8192),
+      tokens_bits_(burst_bits_) {}
+
+int LimiterNf::process(net::Packet& pkt) {
+  // Virtual time comes from the packet's arrival timestamp: the limiter
+  // sees packets in arrival order within its aggregate.
+  const std::uint64_t now = pkt.arrival_ns;
+  if (now > last_ns_) {
+    tokens_bits_ = std::min(
+        burst_bits_,
+        tokens_bits_ + rate_bits_per_ns_ * static_cast<double>(now - last_ns_));
+    last_ns_ = now;
+  }
+  const double cost = static_cast<double>(pkt.size()) * 8.0;
+  if (tokens_bits_ < cost) {
+    ++dropped_;
+    return kDrop;
+  }
+  tokens_bits_ -= cost;
+  return 0;
+}
+
+MonitorNf::MonitorNf(NfConfig config)
+    : SoftwareNf(NfType::kMonitor, std::move(config)) {}
+
+int MonitorNf::process(net::Packet& pkt) {
+  auto tuple = net::FiveTuple::from(pkt);
+  if (!tuple) return 0;
+  auto& s = stats_[*tuple];
+  if (s.packets == 0) s.first_ns = pkt.arrival_ns;
+  ++s.packets;
+  s.bytes += pkt.size();
+  s.last_ns = pkt.arrival_ns;
+  return 0;
+}
+
+NatNf::NatNf(NfConfig config)
+    : SoftwareNf(NfType::kNat, std::move(config)),
+      external_ip_(net::Ipv4Addr::parse(
+                       this->config().string_or("external_ip", "100.64.0.1"))
+                       .value_or(net::Ipv4Addr{0x64400001})),
+      next_port_(
+          static_cast<std::uint16_t>(this->config().int_or("port_base",
+                                                           10000))),
+      port_base_(next_port_),
+      capacity_(static_cast<std::size_t>(
+          this->config().int_or("entries", 12000))),
+      idle_timeout_ns_(static_cast<std::uint64_t>(
+                           this->config().int_or("idle_timeout_ms", 0)) *
+                       1'000'000) {}
+
+std::size_t NatNf::evict_expired(std::uint64_t now_ns) {
+  if (idle_timeout_ns_ == 0) return 0;
+  std::size_t evicted = 0;
+  for (auto it = forward_.begin(); it != forward_.end();) {
+    if (it->second.last_seen_ns + idle_timeout_ns_ < now_ns) {
+      reverse_.erase(it->second.external_port);
+      free_ports_.push_back(it->second.external_port);
+      it = forward_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  expired_ += evicted;
+  return evicted;
+}
+
+int NatNf::process(net::Packet& pkt) {
+  auto layers = net::ParsedLayers::parse(pkt);
+  if (!layers || !layers->ipv4) return 0;
+  auto tuple = net::FiveTuple::from(*layers);
+  if (!tuple) return 0;
+
+  // Reverse direction: destination is one of our external mappings.
+  if (layers->ipv4->dst == external_ip_) {
+    auto rev = reverse_.find(tuple->dst_port);
+    if (rev == reverse_.end()) return kDrop;  // No mapping: drop.
+    const net::FiveTuple internal = rev->second;
+    auto fwd = forward_.find(internal);
+    if (fwd != forward_.end()) fwd->second.last_seen_ns = pkt.arrival_ns;
+    net::Ipv4Header ip = *layers->ipv4;
+    ip.dst = internal.src_ip;
+    net::patch_ipv4(pkt, *layers, ip);
+    net::patch_l4_ports(pkt, *layers, tuple->src_port, internal.src_port);
+    return 0;
+  }
+
+  // Forward direction: allocate (or reuse) an external port.
+  auto it = forward_.find(*tuple);
+  std::uint16_t ext_port;
+  if (it != forward_.end()) {
+    it->second.last_seen_ns = pkt.arrival_ns;
+    ext_port = it->second.external_port;
+  } else {
+    if (forward_.size() >= capacity_) {
+      // Pool exhausted: reclaim idle mappings before giving up.
+      if (evict_expired(pkt.arrival_ns) == 0) {
+        ++exhaustion_drops_;
+        return kDrop;
+      }
+    }
+    if (!free_ports_.empty()) {
+      ext_port = free_ports_.back();
+      free_ports_.pop_back();
+    } else {
+      ext_port = next_port_++;
+    }
+    forward_.emplace(*tuple, Mapping{ext_port, pkt.arrival_ns});
+    reverse_.emplace(ext_port, *tuple);
+  }
+  net::Ipv4Header ip = *layers->ipv4;
+  ip.src = external_ip_;
+  net::patch_ipv4(pkt, *layers, ip);
+  net::patch_l4_ports(pkt, *layers, ext_port, tuple->dst_port);
+  return 0;
+}
+
+LbNf::LbNf(NfConfig config)
+    : SoftwareNf(NfType::kLb, std::move(config)),
+      vip_(net::Ipv4Addr::parse(this->config().string_or("vip", "10.100.0.1"))
+               .value_or(net::Ipv4Addr{0x0a640001})),
+      backend_base_(
+          net::Ipv4Addr::parse(
+              this->config().string_or("backend_base", "10.200.0.1"))
+              .value_or(net::Ipv4Addr{0x0ac80001})),
+      backends_(static_cast<int>(this->config().int_or("backends", 4))) {}
+
+net::Ipv4Addr LbNf::backend_of(std::size_t i) const {
+  return net::Ipv4Addr{backend_base_.value + static_cast<std::uint32_t>(i)};
+}
+
+int LbNf::process(net::Packet& pkt) {
+  auto layers = net::ParsedLayers::parse(pkt);
+  if (!layers || !layers->ipv4 || layers->ipv4->dst != vip_) return 0;
+  auto tuple = net::FiveTuple::from(*layers);
+  if (!tuple) return 0;
+  int backend;
+  auto it = affinity_.find(*tuple);
+  if (it != affinity_.end()) {
+    backend = it->second;
+  } else {
+    backend = static_cast<int>(tuple->hash() %
+                               static_cast<std::uint64_t>(backends_));
+    affinity_.emplace(*tuple, backend);
+  }
+  net::Ipv4Header ip = *layers->ipv4;
+  ip.dst = backend_of(static_cast<std::size_t>(backend));
+  net::patch_ipv4(pkt, *layers, ip);
+  return 0;
+}
+
+}  // namespace lemur::nf

@@ -1,0 +1,116 @@
+// Stateful NFs: Limiter (token bucket), Monitor (per-flow statistics),
+// NAT (carrier-grade), LB (layer-4 load balancing).
+#pragma once
+
+#include <unordered_map>
+
+#include "src/net/flow.h"
+#include "src/nf/software/software_nf.h"
+
+namespace lemur::nf {
+
+/// Token-bucket rate limiter over the aggregate it is attached to.
+/// Config: "rate_mbps" (default 10000), "burst_kb" (default 256).
+/// Non-replicable (paper Table 3 bold): a shared bucket cannot be split
+/// across cores without breaking the rate guarantee.
+class LimiterNf : public SoftwareNf {
+ public:
+  explicit LimiterNf(NfConfig config);
+  int process(net::Packet& pkt) override;
+
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  double rate_bits_per_ns_;
+  double burst_bits_;
+  double tokens_bits_;
+  std::uint64_t last_ns_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Per-flow packet/byte statistics. Non-replicable: counters must stay
+/// coherent per flow.
+class MonitorNf : public SoftwareNf {
+ public:
+  explicit MonitorNf(NfConfig config);
+  int process(net::Packet& pkt) override;
+
+  struct FlowStats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t first_ns = 0;
+    std::uint64_t last_ns = 0;
+  };
+
+  [[nodiscard]] const std::unordered_map<net::FiveTuple, FlowStats>& stats()
+      const {
+    return stats_;
+  }
+
+ private:
+  std::unordered_map<net::FiveTuple, FlowStats> stats_;
+};
+
+/// Carrier-grade NAT: translates internal (src ip, src port) to an
+/// external (ip, port) drawn from a configured pool, keeping a
+/// bidirectional mapping. Config: "external_ip" (default "100.64.0.1"),
+/// "port_base" (default 10000), "entries" (capacity; default 12000),
+/// "idle_timeout_ms" (mapping expiry; default 0 = never — idle mappings
+/// are evicted lazily when the pool is exhausted, as in production CGNAT).
+class NatNf : public SoftwareNf {
+ public:
+  explicit NatNf(NfConfig config);
+  int process(net::Packet& pkt) override;
+
+  [[nodiscard]] std::size_t active_mappings() const {
+    return forward_.size();
+  }
+  [[nodiscard]] std::uint64_t exhaustion_drops() const {
+    return exhaustion_drops_;
+  }
+  [[nodiscard]] std::uint64_t expired_mappings() const { return expired_; }
+
+ private:
+  struct Mapping {
+    std::uint16_t external_port = 0;
+    std::uint64_t last_seen_ns = 0;
+  };
+
+  /// Evicts mappings idle longer than the timeout; returns how many.
+  std::size_t evict_expired(std::uint64_t now_ns);
+
+  net::Ipv4Addr external_ip_;
+  std::uint16_t next_port_;
+  std::uint16_t port_base_;
+  std::size_t capacity_;
+  std::uint64_t idle_timeout_ns_;
+  /// internal 5-tuple -> allocated external mapping.
+  std::unordered_map<net::FiveTuple, Mapping> forward_;
+  /// external port -> internal 5-tuple (for the reverse direction).
+  std::unordered_map<std::uint16_t, net::FiveTuple> reverse_;
+  /// Ports freed by expiry, reusable before advancing next_port_.
+  std::vector<std::uint16_t> free_ports_;
+  std::uint64_t exhaustion_drops_ = 0;
+  std::uint64_t expired_ = 0;
+};
+
+/// Layer-4 load balancer: flows addressed to the VIP are pinned to a
+/// backend (consistent per-flow choice, remembered for affinity).
+/// Config: "vip" (default "10.100.0.1"), "backends" (count, default 4),
+/// "backend_base" (default "10.200.0.1").
+class LbNf : public SoftwareNf {
+ public:
+  explicit LbNf(NfConfig config);
+  int process(net::Packet& pkt) override;
+
+  [[nodiscard]] std::size_t tracked_flows() const { return affinity_.size(); }
+  [[nodiscard]] net::Ipv4Addr backend_of(std::size_t i) const;
+
+ private:
+  net::Ipv4Addr vip_;
+  net::Ipv4Addr backend_base_;
+  int backends_;
+  std::unordered_map<net::FiveTuple, int> affinity_;
+};
+
+}  // namespace lemur::nf

@@ -1,0 +1,102 @@
+#include "src/nic/assembler.h"
+
+namespace lemur::nic {
+
+void Assembler::mov_imm(Reg dst, std::int64_t imm) {
+  insns_.push_back({Op::kMovImm, dst, Reg::kR0, 0, imm});
+}
+
+void Assembler::mov_reg(Reg dst, Reg src) {
+  insns_.push_back({Op::kMovReg, dst, src, 0, 0});
+}
+
+void Assembler::alu_imm(Op op, Reg dst, std::int64_t imm) {
+  insns_.push_back({op, dst, Reg::kR0, 0, imm});
+}
+
+void Assembler::alu_reg(Op op, Reg dst, Reg src) {
+  insns_.push_back({op, dst, src, 0, 0});
+}
+
+void Assembler::ldx(Op size_op, Reg dst, Reg base, std::int32_t off) {
+  insns_.push_back({size_op, dst, base, off, 0});
+}
+
+void Assembler::stx(Op size_op, Reg base, std::int32_t off, Reg src) {
+  insns_.push_back({size_op, base, src, off, 0});
+}
+
+Assembler::Label Assembler::make_label() {
+  label_targets_.emplace_back(std::nullopt);
+  return Label(label_targets_.size() - 1);
+}
+
+void Assembler::bind(Label label) {
+  label_targets_[label.id()] = insns_.size();
+}
+
+void Assembler::ja(Label target) {
+  fixups_.push_back({insns_.size(), target.id()});
+  insns_.push_back({Op::kJa, Reg::kR0, Reg::kR0, 0, 0});
+}
+
+void Assembler::jmp_imm(Op op, Reg dst, std::int64_t imm, Label target) {
+  fixups_.push_back({insns_.size(), target.id()});
+  insns_.push_back({op, dst, Reg::kR0, 0, imm});
+}
+
+void Assembler::jmp_reg(Op op, Reg dst, Reg src, Label target) {
+  fixups_.push_back({insns_.size(), target.id()});
+  insns_.push_back({op, dst, src, 0, 0});
+}
+
+void Assembler::call(Helper helper) {
+  insns_.push_back({Op::kCall, Reg::kR0, Reg::kR0, 0,
+                    static_cast<std::int64_t>(helper)});
+}
+
+void Assembler::exit() { insns_.push_back({Op::kExit}); }
+
+std::optional<Program> Assembler::finish() {
+  for (const auto& fixup : fixups_) {
+    const auto target = label_targets_[fixup.label_id];
+    if (!target.has_value()) {
+      error_ = "unresolved label " + std::to_string(fixup.label_id);
+      return std::nullopt;
+    }
+    if (*target <= fixup.insn_index) {
+      error_ = "back edge: jump at " + std::to_string(fixup.insn_index) +
+               " targets " + std::to_string(*target);
+      return std::nullopt;
+    }
+    insns_[fixup.insn_index].offset = static_cast<std::int32_t>(*target);
+  }
+  return insns_;
+}
+
+std::string disassemble(const Insn& insn) {
+  const auto r = [](Reg reg) {
+    return "r" + std::to_string(static_cast<int>(reg));
+  };
+  switch (insn.op) {
+    case Op::kMovImm:
+      return r(insn.dst) + " = " + std::to_string(insn.imm);
+    case Op::kMovReg:
+      return r(insn.dst) + " = " + r(insn.src);
+    case Op::kCall:
+      return "call helper#" + std::to_string(insn.imm);
+    case Op::kExit:
+      return "exit";
+    case Op::kJa:
+      return "ja -> " + std::to_string(insn.offset);
+    default: {
+      std::string text = "op" + std::to_string(static_cast<int>(insn.op)) +
+                         " " + r(insn.dst) + ", " + r(insn.src) + ", off=" +
+                         std::to_string(insn.offset) + ", imm=" +
+                         std::to_string(insn.imm);
+      return text;
+    }
+  }
+}
+
+}  // namespace lemur::nic

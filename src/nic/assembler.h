@@ -1,0 +1,65 @@
+// A small structured assembler for eBPF programs, used by the
+// metacompiler's SmartNIC code generator. Labels resolve to absolute
+// instruction indices; binding a label behind an already-emitted jump to
+// it would create a back edge, which finish() rejects (the verifier would
+// reject it anyway — failing at assembly time gives better diagnostics).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/nic/ebpf_isa.h"
+
+namespace lemur::nic {
+
+class Assembler {
+ public:
+  class Label {
+   public:
+    explicit Label(std::size_t id) : id_(id) {}
+    [[nodiscard]] std::size_t id() const { return id_; }
+
+   private:
+    std::size_t id_;
+  };
+
+  // ALU.
+  void mov_imm(Reg dst, std::int64_t imm);
+  void mov_reg(Reg dst, Reg src);
+  void alu_imm(Op op, Reg dst, std::int64_t imm);
+  void alu_reg(Op op, Reg dst, Reg src);
+
+  // Memory.
+  void ldx(Op size_op, Reg dst, Reg base, std::int32_t off);
+  void stx(Op size_op, Reg base, std::int32_t off, Reg src);
+
+  // Control flow.
+  [[nodiscard]] Label make_label();
+  void bind(Label label);
+  void ja(Label target);
+  void jmp_imm(Op op, Reg dst, std::int64_t imm, Label target);
+  void jmp_reg(Op op, Reg dst, Reg src, Label target);
+
+  void call(Helper helper);
+  void exit();
+
+  /// Resolves labels and validates structural invariants. Returns nullopt
+  /// (with error() set) on unresolved labels or back edges.
+  [[nodiscard]] std::optional<Program> finish();
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t size() const { return insns_.size(); }
+
+ private:
+  struct Fixup {
+    std::size_t insn_index;
+    std::size_t label_id;
+  };
+
+  Program insns_;
+  std::vector<std::optional<std::size_t>> label_targets_;
+  std::vector<Fixup> fixups_;
+  std::string error_;
+};
+
+}  // namespace lemur::nic

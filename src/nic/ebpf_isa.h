@@ -1,0 +1,102 @@
+// The eBPF-style instruction set executed by the simulated SmartNIC
+// (Netronome Agilio CX; paper appendix A.3).
+//
+// Faithful restrictions (enforced by verifier.h, matching the paper):
+//   - at most 4196 instructions,
+//   - no back-edge jumps (loops must be unrolled),
+//   - no program-to-program calls (only whitelisted helper calls, as in
+//     kernel eBPF),
+//   - a 512-byte stack.
+//
+// Simulator conventions: at entry r1 holds the packet base address, r2 the
+// packet length, r10 the (read-only) stack frame pointer. Packet loads and
+// stores of 16/32-bit width use network byte order, like classic
+// BPF_LD_ABS. The program's r0 at exit is the XDP action.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lemur::nic {
+
+enum class Reg : std::uint8_t {
+  kR0, kR1, kR2, kR3, kR4, kR5, kR6, kR7, kR8, kR9, kR10,
+};
+
+inline constexpr int kNumRegs = 11;
+inline constexpr int kMaxInstructions = 4196;
+inline constexpr int kStackBytes = 512;
+
+/// Virtual base addresses of the two memory regions.
+inline constexpr std::uint64_t kPacketBase = 0x1000'0000;
+inline constexpr std::uint64_t kStackBase = 0x2000'0000;
+
+enum class XdpAction : std::uint8_t {
+  kAborted = 0,
+  kDrop = 1,
+  kPass = 2,
+  kTx = 3,
+};
+
+/// Helper functions the NIC firmware exposes (kernel-helper analogues).
+enum class Helper : std::int64_t {
+  /// r1 = payload offset within packet, r2 = length: ChaCha20 over that
+  /// range with the device-configured key/nonce. The Agilio's crypto path,
+  /// modelled as a helper (see DESIGN.md substitutions).
+  kChaCha20 = 1,
+  /// Recomputes the IPv4 header checksum (r1 = IP header offset).
+  kIpv4CsumFixup = 2,
+  /// r0 = 64-bit hash of the packet's 5-tuple.
+  kFlowHash = 3,
+  /// bpf_xdp_adjust_head analogue: r1 = signed delta. Negative grows the
+  /// packet at the front by |delta| (new bytes are zeroed), positive
+  /// shrinks it. r2 is updated to the new length; r0 = 0 on success.
+  kAdjustHead = 4,
+};
+
+enum class Op : std::uint8_t {
+  // ALU64. Imm variants use `imm`; Reg variants use `src`.
+  kMovImm, kMovReg,
+  kAddImm, kAddReg,
+  kSubImm, kSubReg,
+  kMulImm, kMulReg,
+  kDivImm, kDivReg,
+  kModImm, kModReg,
+  kAndImm, kAndReg,
+  kOrImm, kOrReg,
+  kXorImm, kXorReg,
+  kLshImm, kRshImm,
+  kNeg,
+  // Memory: dst = *(size*)(src + off) / *(size*)(dst + off) = src.
+  kLdxB, kLdxH, kLdxW, kLdxDw,
+  kStxB, kStxH, kStxW, kStxDw,
+  // Jumps: forward only. Target encoded as absolute instruction index in
+  // `offset` (resolved by the assembler).
+  kJa,
+  kJeqImm, kJeqReg, kJneImm, kJneReg,
+  kJgtImm, kJgeImm, kJltImm, kJleImm,
+  kJsetImm,
+  // Helper call: imm = Helper id.
+  kCall,
+  kExit,
+};
+
+struct Insn {
+  Op op = Op::kExit;
+  Reg dst = Reg::kR0;
+  Reg src = Reg::kR0;
+  std::int32_t offset = 0;  ///< Memory displacement or jump target index.
+  std::int64_t imm = 0;
+
+  [[nodiscard]] bool is_jump() const {
+    return op >= Op::kJa && op <= Op::kJsetImm;
+  }
+};
+
+using Program = std::vector<Insn>;
+
+/// Human-readable single-instruction disassembly (for diagnostics).
+std::string disassemble(const Insn& insn);
+
+}  // namespace lemur::nic

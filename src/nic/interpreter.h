@@ -1,0 +1,32 @@
+// Executes a verified eBPF program over a packet. Memory accesses are
+// bounds-checked at runtime against the packet and stack regions;
+// violations abort the program with XdpAction::kAborted (as the kernel
+// would have prevented the load, the packet is treated as dropped).
+#pragma once
+
+#include <array>
+
+#include "src/net/packet.h"
+#include "src/nic/ebpf_isa.h"
+
+namespace lemur::nic {
+
+/// Device-level configuration consumed by helpers.
+struct HelperConfig {
+  std::array<std::uint8_t, 32> chacha_key{};
+  std::array<std::uint8_t, 12> chacha_nonce{};
+};
+
+struct ExecResult {
+  XdpAction action = XdpAction::kAborted;
+  std::uint64_t instructions_executed = 0;
+  std::string error;  ///< Set when action == kAborted.
+};
+
+/// Runs the program against the packet (mutating it in place).
+/// The program should have passed verify(); running an unverified program
+/// is safe (runtime checks still apply) but unsupported.
+ExecResult execute(const Program& program, net::Packet& pkt,
+                   const HelperConfig& config);
+
+}  // namespace lemur::nic

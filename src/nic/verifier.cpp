@@ -1,0 +1,123 @@
+#include "src/nic/verifier.h"
+
+#include <algorithm>
+
+namespace lemur::nic {
+namespace {
+
+bool is_store(Op op) {
+  return op == Op::kStxB || op == Op::kStxH || op == Op::kStxW ||
+         op == Op::kStxDw;
+}
+
+bool is_load(Op op) {
+  return op == Op::kLdxB || op == Op::kLdxH || op == Op::kLdxW ||
+         op == Op::kLdxDw;
+}
+
+int access_width(Op op) {
+  switch (op) {
+    case Op::kLdxB:
+    case Op::kStxB:
+      return 1;
+    case Op::kLdxH:
+    case Op::kStxH:
+      return 2;
+    case Op::kLdxW:
+    case Op::kStxW:
+      return 4;
+    case Op::kLdxDw:
+    case Op::kStxDw:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+bool writes_dst(Op op) {
+  // Every ALU op and load writes its dst register; stores use dst as the
+  // base address and do not write it.
+  return !is_store(op) && op != Op::kJa && op != Op::kExit &&
+         op != Op::kCall && !(op >= Op::kJeqImm && op <= Op::kJsetImm);
+}
+
+std::string at(std::size_t pc) {
+  return " (at instruction " + std::to_string(pc) + ")";
+}
+
+}  // namespace
+
+VerifyResult verify(const Program& program) {
+  VerifyResult out;
+  out.instructions = static_cast<int>(program.size());
+
+  if (program.empty()) {
+    out.error = "empty program";
+    return out;
+  }
+  if (program.size() > kMaxInstructions) {
+    out.error = "program has " + std::to_string(program.size()) +
+                " instructions; the NIC loads at most " +
+                std::to_string(kMaxInstructions);
+    return out;
+  }
+  if (program.back().op != Op::kExit) {
+    out.error = "program does not end with exit";
+    return out;
+  }
+
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    const Insn& insn = program[pc];
+
+    if (insn.is_jump() && insn.op != Op::kExit) {
+      const auto target = static_cast<std::size_t>(insn.offset);
+      if (insn.offset < 0 || target >= program.size()) {
+        out.error = "jump target out of range" + at(pc);
+        return out;
+      }
+      if (target <= pc) {
+        out.error = "back-edge jump (loops must be unrolled)" + at(pc);
+        return out;
+      }
+    }
+
+    if (writes_dst(insn.op) && insn.dst == Reg::kR10) {
+      out.error = "write to frame pointer r10" + at(pc);
+      return out;
+    }
+
+    if ((insn.op == Op::kDivImm || insn.op == Op::kModImm) &&
+        insn.imm == 0) {
+      out.error = "division by zero immediate" + at(pc);
+      return out;
+    }
+
+    if (insn.op == Op::kCall) {
+      const auto helper = static_cast<Helper>(insn.imm);
+      if (helper != Helper::kChaCha20 && helper != Helper::kIpv4CsumFixup &&
+          helper != Helper::kFlowHash && helper != Helper::kAdjustHead) {
+        out.error = "unknown helper " + std::to_string(insn.imm) + at(pc);
+        return out;
+      }
+    }
+
+    // Stack bounds: any r10-based access must stay within the 512-byte
+    // frame, i.e. offset in [-kStackBytes, -width].
+    const Reg base = is_store(insn.op) ? insn.dst
+                     : is_load(insn.op) ? insn.src
+                                        : Reg::kR0;
+    if ((is_store(insn.op) || is_load(insn.op)) && base == Reg::kR10) {
+      const int width = access_width(insn.op);
+      if (insn.offset > -width || insn.offset < -kStackBytes) {
+        out.error = "stack access out of the 512-byte frame" + at(pc);
+        return out;
+      }
+      out.max_stack_bytes = std::max(out.max_stack_bytes, -insn.offset);
+    }
+  }
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace lemur::nic

@@ -1,0 +1,23 @@
+// Static verifier for SmartNIC eBPF programs, enforcing the loading
+// restrictions the paper worked around with loop unrolling and inlining
+// (appendix A.3): program size, forward-only control flow, no writes to
+// the frame pointer, in-bounds stack accesses, known helpers, and a
+// guaranteed exit.
+#pragma once
+
+#include <string>
+
+#include "src/nic/ebpf_isa.h"
+
+namespace lemur::nic {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string error;
+  int instructions = 0;
+  int max_stack_bytes = 0;  ///< Deepest r10-relative access observed.
+};
+
+VerifyResult verify(const Program& program);
+
+}  // namespace lemur::nic

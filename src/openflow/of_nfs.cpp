@@ -1,0 +1,125 @@
+#include "src/openflow/of_nfs.h"
+
+#include "src/nf/software/header_nfs.h"
+
+namespace lemur::openflow {
+
+std::optional<OfTable> table_of(nf::NfType type) {
+  switch (type) {
+    case nf::NfType::kTunnel:
+    case nf::NfType::kDetunnel:
+      return OfTable::kVlan;
+    case nf::NfType::kIpv4Fwd:
+      return OfTable::kIp;
+    case nf::NfType::kMonitor:
+    case nf::NfType::kAcl:
+      return OfTable::kAcl;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<OfFlowRule> generate_rules(nf::NfType type,
+                                       const nf::NfConfig& config) {
+  std::vector<OfFlowRule> rules;
+  switch (type) {
+    case nf::NfType::kTunnel: {
+      OfFlowRule rule;
+      rule.table = OfTable::kVlan;
+      rule.actions.push_back(
+          {OfAction::Kind::kPushVlan,
+           static_cast<std::uint32_t>(config.int_or("vlan_tag", 100))});
+      rules.push_back(std::move(rule));
+      break;
+    }
+    case nf::NfType::kDetunnel: {
+      OfFlowRule rule;
+      rule.table = OfTable::kVlan;
+      rule.match.vlan_vid = std::nullopt;  // Any tagged frame.
+      rule.actions.push_back({OfAction::Kind::kPopVlan, 0});
+      rules.push_back(std::move(rule));
+      break;
+    }
+    case nf::NfType::kIpv4Fwd: {
+      for (const auto& dict : config.rules) {
+        auto p = dict.find("prefix");
+        if (p == dict.end()) continue;
+        auto prefix = net::Ipv4Prefix::parse(p->second);
+        if (!prefix) continue;
+        OfFlowRule rule;
+        rule.table = OfTable::kIp;
+        rule.match.dst_ip = *prefix;
+        rule.priority = prefix->length;  // LPM via priority.
+        std::uint32_t port = 0;
+        auto port_it = dict.find("port");
+        if (port_it != dict.end()) {
+          port = static_cast<std::uint32_t>(
+              std::atoi(port_it->second.c_str()));
+        }
+        rule.actions.push_back({OfAction::Kind::kOutput, port});
+        rules.push_back(std::move(rule));
+      }
+      break;
+    }
+    case nf::NfType::kMonitor: {
+      // One counting rule per monitored aggregate (prefix dictionaries);
+      // with no aggregates, a single catch-all counter.
+      if (config.rules.empty()) {
+        OfFlowRule rule;
+        rule.table = OfTable::kAcl;
+        rule.priority = -1;  // Below any ACL verdicts.
+        rules.push_back(std::move(rule));
+      }
+      for (const auto& dict : config.rules) {
+        OfFlowRule rule;
+        rule.table = OfTable::kAcl;
+        rule.priority = -1;
+        auto src = dict.find("src_ip");
+        if (src != dict.end()) {
+          rule.match.src_ip = net::Ipv4Prefix::parse(src->second);
+        }
+        auto dst = dict.find("dst_ip");
+        if (dst != dict.end()) {
+          rule.match.dst_ip = net::Ipv4Prefix::parse(dst->second);
+        }
+        rules.push_back(std::move(rule));
+      }
+      break;
+    }
+    case nf::NfType::kAcl: {
+      int priority = 1000;
+      for (const auto& acl_rule : nf::parse_acl_rules(config)) {
+        OfFlowRule rule;
+        rule.table = OfTable::kAcl;
+        rule.priority = priority--;  // Preserve first-match order.
+        rule.match.src_ip = acl_rule.src;
+        rule.match.dst_ip = acl_rule.dst;
+        rule.match.proto = acl_rule.proto;
+        rule.match.src_port = acl_rule.src_port;
+        rule.match.dst_port = acl_rule.dst_port;
+        if (acl_rule.drop) {
+          rule.actions.push_back({OfAction::Kind::kDrop, 0});
+        }
+        rules.push_back(std::move(rule));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return rules;
+}
+
+bool respects_table_order(const std::vector<nf::NfType>& sequence) {
+  int last = -1;
+  for (const auto type : sequence) {
+    auto table = table_of(type);
+    if (!table) return false;  // No OF implementation at all.
+    const int index = static_cast<int>(*table);
+    if (index <= last) return false;
+    last = index;
+  }
+  return true;
+}
+
+}  // namespace lemur::openflow

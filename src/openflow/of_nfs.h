@@ -1,0 +1,30 @@
+// OpenFlow rule generation for the NFs with an OF column in Table 3:
+// Tunnel, Detunnel, IPv4Fwd, Monitor, ACL — plus the fixed-table-order
+// feasibility check the Placer runs before offloading a chain segment to
+// the OpenFlow switch.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/nf/nf_spec.h"
+#include "src/openflow/of_switch.h"
+
+namespace lemur::openflow {
+
+/// The pipeline table an NF type occupies, or nullopt when the NF has no
+/// OpenFlow implementation.
+std::optional<OfTable> table_of(nf::NfType type);
+
+/// Rules implementing one NF instance. Empty + has-OF-impl means the NF
+/// passes traffic untouched by default (e.g. Monitor with no aggregates).
+std::vector<OfFlowRule> generate_rules(nf::NfType type,
+                                       const nf::NfConfig& config);
+
+/// A consecutive run of NFs can execute on the OpenFlow switch in one
+/// pass only if their tables appear in strictly increasing pipeline order
+/// (the paper: "the Placer must check whether a configuration violates
+/// the switch table order").
+bool respects_table_order(const std::vector<nf::NfType>& sequence);
+
+}  // namespace lemur::openflow

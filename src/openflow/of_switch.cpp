@@ -1,0 +1,152 @@
+#include "src/openflow/of_switch.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/net/flow.h"
+
+namespace lemur::openflow {
+
+const char* to_string(OfTable table) {
+  switch (table) {
+    case OfTable::kPort:
+      return "port";
+    case OfTable::kVlan:
+      return "vlan";
+    case OfTable::kMac:
+      return "mac";
+    case OfTable::kIp:
+      return "ip";
+    case OfTable::kAcl:
+      return "acl";
+  }
+  return "?";
+}
+
+bool OfMatch::matches(const net::Packet& pkt,
+                      const net::ParsedLayers& layers) const {
+  if (in_port && pkt.ingress_port != *in_port) return false;
+  if (vlan_vid) {
+    if (!layers.vlan || layers.vlan->vid != *vlan_vid) return false;
+  }
+  if (src_ip || dst_ip || proto) {
+    if (!layers.ipv4) return false;
+    if (src_ip && !src_ip->contains(layers.ipv4->src)) return false;
+    if (dst_ip && !dst_ip->contains(layers.ipv4->dst)) return false;
+    if (proto && layers.ipv4->protocol != *proto) return false;
+  }
+  if (src_port || dst_port) {
+    auto tuple = net::FiveTuple::from(layers);
+    if (!tuple) return false;
+    if (src_port && tuple->src_port != *src_port) return false;
+    if (dst_port && tuple->dst_port != *dst_port) return false;
+  }
+  return true;
+}
+
+std::uint16_t pack_spi_si(std::uint8_t spi, std::uint8_t si) {
+  return static_cast<std::uint16_t>(((spi & 0x3f) << 6) | (si & 0x3f));
+}
+
+std::pair<std::uint8_t, std::uint8_t> unpack_spi_si(std::uint16_t vid) {
+  return {static_cast<std::uint8_t>((vid >> 6) & 0x3f),
+          static_cast<std::uint8_t>(vid & 0x3f)};
+}
+
+namespace {
+
+bool action_allowed_in(OfTable table, OfAction::Kind kind) {
+  switch (kind) {
+    case OfAction::Kind::kPushVlan:
+    case OfAction::Kind::kPopVlan:
+    case OfAction::Kind::kSetVlanVid:
+      return table == OfTable::kVlan;
+    case OfAction::Kind::kOutput:
+      return table == OfTable::kMac || table == OfTable::kIp ||
+             table == OfTable::kAcl || table == OfTable::kPort;
+    case OfAction::Kind::kDrop:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool OpenFlowSwitch::install(OfFlowRule rule, std::string* error) {
+  for (const auto& action : rule.actions) {
+    if (!action_allowed_in(rule.table, action.kind)) {
+      if (error != nullptr) {
+        *error = std::string("action not supported in table '") +
+                 to_string(rule.table) + "' (fixed-function pipeline)";
+      }
+      return false;
+    }
+  }
+  if (static_cast<int>(num_rules()) >= spec_.max_flow_entries) {
+    if (error != nullptr) *error = "flow table full";
+    return false;
+  }
+  auto& table = tables_[static_cast<std::size_t>(rule.table)];
+  table.push_back(std::move(rule));
+  // Highest priority first for first-match semantics.
+  std::stable_sort(table.begin(), table.end(),
+                   [](const OfFlowRule& x, const OfFlowRule& y) {
+                     return x.priority > y.priority;
+                   });
+  return true;
+}
+
+std::size_t OpenFlowSwitch::num_rules() const {
+  std::size_t n = 0;
+  for (const auto& t : tables_) n += t.size();
+  return n;
+}
+
+OpenFlowSwitch::ProcessResult OpenFlowSwitch::process(net::Packet& pkt) {
+  ProcessResult out;
+  for (auto& table : tables_) {
+    if (table.empty()) continue;
+    // Re-parse per table: earlier tables may have restructured the frame.
+    auto layers = net::ParsedLayers::parse(pkt);
+    if (!layers) break;
+    const OfFlowRule* hit = nullptr;
+    for (const auto& rule : table) {
+      if (rule.match.matches(pkt, *layers)) {
+        hit = &rule;
+        break;
+      }
+    }
+    if (hit == nullptr) continue;  // Table miss: fall through (ASIC default).
+    ++out.tables_hit;
+    hit->packets += 1;
+    hit->bytes += pkt.size();
+    for (const auto& action : hit->actions) {
+      switch (action.kind) {
+        case OfAction::Kind::kOutput:
+          out.egress_port = action.value;
+          break;
+        case OfAction::Kind::kPushVlan:
+          net::push_vlan(pkt, static_cast<std::uint16_t>(action.value));
+          break;
+        case OfAction::Kind::kPopVlan:
+          net::pop_vlan(pkt);
+          break;
+        case OfAction::Kind::kSetVlanVid: {
+          auto tag = net::pop_vlan(pkt);
+          if (tag) {
+            net::push_vlan(pkt, static_cast<std::uint16_t>(action.value),
+                           tag->pcp);
+          }
+          break;
+        }
+        case OfAction::Kind::kDrop:
+          out.dropped = true;
+          pkt.drop = true;
+          return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lemur::openflow

@@ -1,0 +1,104 @@
+// Fixed-function OpenFlow switch simulator (Edgecore AS5712-54X in the
+// paper's testbed, section 5.3 "Placement on an Openflow switch").
+//
+// Unlike the PISA switch, the table pipeline is fixed by the ASIC: the
+// paper's Placer must check that the NFs it offloads can be expressed in
+// the switch's fixed table order. And since OpenFlow has no NSH support,
+// Lemur carries the SPI/SI in the 12-bit VLAN vid (6 bits each).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/topo/topology.h"
+
+namespace lemur::openflow {
+
+/// The fixed pipeline tables, in ASIC order.
+enum class OfTable : int {
+  kPort = 0,  ///< Ingress port / admission.
+  kVlan = 1,  ///< VLAN push/pop/rewrite.
+  kMac = 2,   ///< L2 forwarding.
+  kIp = 3,    ///< L3 LPM forwarding.
+  kAcl = 4,   ///< ACL / policing; also where flow counters live.
+};
+
+[[nodiscard]] const char* to_string(OfTable table);
+
+/// Matching fields (all optional = wildcard).
+struct OfMatch {
+  std::optional<std::uint32_t> in_port;
+  std::optional<std::uint16_t> vlan_vid;
+  std::optional<net::Ipv4Prefix> src_ip;
+  std::optional<net::Ipv4Prefix> dst_ip;
+  std::optional<std::uint8_t> proto;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+
+  [[nodiscard]] bool matches(const net::Packet& pkt,
+                             const net::ParsedLayers& layers) const;
+};
+
+struct OfAction {
+  enum class Kind {
+    kOutput,      ///< Set egress port = value.
+    kPushVlan,    ///< Push 802.1Q with vid = value.
+    kPopVlan,
+    kSetVlanVid,  ///< Rewrite the existing tag's vid.
+    kDrop,
+  };
+  Kind kind = Kind::kOutput;
+  std::uint32_t value = 0;
+};
+
+struct OfFlowRule {
+  OfTable table = OfTable::kAcl;
+  int priority = 0;
+  OfMatch match;
+  std::vector<OfAction> actions;
+
+  // Per-rule counters (OpenFlow flow stats; this is how the Monitor NF
+  // maps to the switch).
+  mutable std::uint64_t packets = 0;
+  mutable std::uint64_t bytes = 0;
+};
+
+/// SPI/SI <-> VLAN vid packing: 6 bits each (the paper: "the 12-bit vid
+/// field as SPI-SI"). Limits OpenFlow-coordinated deployments to 63
+/// service paths of 63 NFs, which the paper notes as a constraint.
+std::uint16_t pack_spi_si(std::uint8_t spi, std::uint8_t si);
+std::pair<std::uint8_t, std::uint8_t> unpack_spi_si(std::uint16_t vid);
+
+class OpenFlowSwitch {
+ public:
+  explicit OpenFlowSwitch(topo::OpenFlowSwitchSpec spec)
+      : spec_(std::move(spec)) {}
+
+  /// Installs a rule; fails when the table is full or the actions are not
+  /// supported by that table (e.g. VLAN push outside the VLAN table).
+  bool install(OfFlowRule rule, std::string* error = nullptr);
+
+  struct ProcessResult {
+    bool dropped = false;
+    std::uint32_t egress_port = 0;
+    int tables_hit = 0;
+  };
+
+  /// One pass through the fixed pipeline.
+  ProcessResult process(net::Packet& pkt);
+
+  [[nodiscard]] std::size_t num_rules() const;
+  [[nodiscard]] const std::vector<OfFlowRule>& table_rules(OfTable t) const {
+    return tables_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] const topo::OpenFlowSwitchSpec& spec() const { return spec_; }
+
+ private:
+  topo::OpenFlowSwitchSpec spec_;
+  std::array<std::vector<OfFlowRule>, 5> tables_;
+};
+
+}  // namespace lemur::openflow

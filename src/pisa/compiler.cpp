@@ -1,0 +1,149 @@
+#include "src/pisa/compiler.h"
+
+#include <algorithm>
+
+namespace lemur::pisa {
+namespace {
+
+bool intersects(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) {
+  for (const auto& x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+long table_sram_bytes(const TableDef& table) {
+  // Per entry: key bytes + action selector + up to two 32-bit action data
+  // words; rounded to the switch's word granularity.
+  const long key_bytes = (table.key_bits() + 7) / 8;
+  const long entry_bytes = key_bytes + 1 + 8;
+  return entry_bytes * table.size;
+}
+
+long table_tcam_bytes(const TableDef& table) {
+  if (!table.needs_tcam()) return 0;
+  // Ternary entries store value + mask.
+  const long key_bytes = (table.key_bits() + 7) / 8;
+  return 2 * key_bytes * table.size;
+}
+
+int estimate_stages_conservative(const P4Program& prog) {
+  return static_cast<int>(prog.control.size());
+}
+
+std::vector<std::pair<int, int>> dependency_edges(const P4Program& prog,
+                                                  bool exclusivity_aware) {
+  const int n = static_cast<int>(prog.control.size());
+  std::vector<AccessSets> sets;
+  sets.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) sets.push_back(access_sets(prog, i));
+
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto& a = sets[static_cast<std::size_t>(i)];
+      const auto& b = sets[static_cast<std::size_t>(j)];
+      // Match dependency: i writes what j reads.
+      // Action dependency: i writes what j writes (order matters).
+      // Reverse dependency: i reads what j writes (j must not clobber
+      // i's inputs within the same stage) — modelled conservatively as
+      // a staging edge, as Tofino's TDG does.
+      if (intersects(a.writes, b.reads) || intersects(a.writes, b.writes) ||
+          intersects(a.reads, b.writes)) {
+        // Mutually exclusive applies (disjoint guards on the same field)
+        // cannot both fire for one packet, so their data hazards are
+        // spurious and they may share a stage (optimization (d)).
+        if (exclusivity_aware &&
+            guards_mutually_exclusive(
+                prog.control[static_cast<std::size_t>(i)].guard,
+                prog.control[static_cast<std::size_t>(j)].guard)) {
+          continue;
+        }
+        edges.emplace_back(i, j);
+      }
+    }
+  }
+  return edges;
+}
+
+CompileResult compile(const P4Program& prog,
+                      const topo::PisaSwitchSpec& spec,
+                      bool exclusivity_aware) {
+  CompileResult out;
+  const int n = static_cast<int>(prog.control.size());
+  out.stats.tables = n;
+
+  const auto edges = dependency_edges(prog, exclusivity_aware);
+  out.stats.dependency_edges = static_cast<int>(edges.size());
+
+  // Earliest dependency level for each apply (longest path in the TDG).
+  std::vector<int> level(static_cast<std::size_t>(n), 0);
+  for (const auto& [i, j] : edges) {
+    // Control order is already topological (i < j), so one pass suffices.
+    level[static_cast<std::size_t>(j)] =
+        std::max(level[static_cast<std::size_t>(j)],
+                 level[static_cast<std::size_t>(i)] + 1);
+  }
+
+  // First-fit packing: place each apply (in control order) into the first
+  // stage >= its dependency level with spare table slots and memory.
+  std::vector<CompiledStage> stages;
+  auto fits = [&](const CompiledStage& st, long sram, long tcam) {
+    return static_cast<int>(st.applies.size()) < spec.tables_per_stage &&
+           st.sram_bytes + sram <= spec.sram_bytes_per_stage &&
+           st.tcam_bytes + tcam <= spec.tcam_bytes_per_stage;
+  };
+
+  std::vector<int> assigned_stage(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const TableDef& table =
+        prog.table(prog.control[static_cast<std::size_t>(i)].table);
+    const long sram = table_sram_bytes(table);
+    const long tcam = table_tcam_bytes(table);
+    if (sram > spec.sram_bytes_per_stage ||
+        tcam > spec.tcam_bytes_per_stage) {
+      out.error = "table '" + table.name + "' exceeds per-stage memory";
+      out.stages_required = spec.stages + 1;
+      return out;
+    }
+    // Dependencies may have been pushed past their level by packing, so
+    // the real earliest stage is after every assigned dependency.
+    int earliest = level[static_cast<std::size_t>(i)];
+    for (const auto& [a, b] : edges) {
+      if (b == i && assigned_stage[static_cast<std::size_t>(a)] >= earliest) {
+        earliest = assigned_stage[static_cast<std::size_t>(a)] + 1;
+      }
+    }
+    int stage = earliest;
+    while (true) {
+      if (stage >= static_cast<int>(stages.size())) {
+        stages.resize(static_cast<std::size_t>(stage) + 1);
+      }
+      if (fits(stages[static_cast<std::size_t>(stage)], sram, tcam)) break;
+      ++stage;
+    }
+    auto& st = stages[static_cast<std::size_t>(stage)];
+    st.applies.push_back(i);
+    st.sram_bytes += sram;
+    st.tcam_bytes += tcam;
+    assigned_stage[static_cast<std::size_t>(i)] = stage;
+    out.stats.total_sram_bytes += sram;
+    out.stats.total_tcam_bytes += tcam;
+  }
+
+  out.stages_required = static_cast<int>(stages.size());
+  out.stats.stages_used = out.stages_required;
+  if (out.stages_required > spec.stages) {
+    out.error = "program needs " + std::to_string(out.stages_required) +
+                " stages but the switch has " + std::to_string(spec.stages);
+    return out;
+  }
+  out.stages = std::move(stages);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace lemur::pisa

@@ -1,0 +1,21 @@
+// Pretty-prints a P4Program as P4_14-style source text.
+//
+// The metacompiler uses this both for operator inspection of generated
+// pipelines and for the auto-generated lines-of-code accounting the paper
+// reports (section 5.3, "Meta-compiler Benefits and Overhead").
+#pragma once
+
+#include <string>
+
+#include "src/pisa/p4_ir.h"
+
+namespace lemur::pisa {
+
+/// Emits the full program: header definitions, parser, actions, tables,
+/// and the guarded control flow.
+std::string print_program(const P4Program& prog);
+
+/// Number of non-blank lines print_program() would emit.
+int count_program_lines(const P4Program& prog);
+
+}  // namespace lemur::pisa

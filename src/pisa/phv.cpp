@@ -1,0 +1,181 @@
+#include "src/pisa/phv.h"
+
+#include "src/net/flow.h"
+
+namespace lemur::pisa {
+
+PhvContext::PhvContext(net::Packet& pkt) : pkt_(pkt) { reparse(); }
+
+void PhvContext::reparse() {
+  auto parsed = net::ParsedLayers::parse(pkt_);
+  parsed_ok_ = parsed.has_value();
+  if (parsed_ok_) layers_ = *parsed;
+  dirty_ = false;
+}
+
+std::uint64_t PhvContext::mac_to_u64(const net::MacAddr& mac) const {
+  std::uint64_t v = 0;
+  for (std::uint8_t b : mac.bytes) v = (v << 8) | b;
+  return v;
+}
+
+void PhvContext::u64_to_mac(std::uint64_t v, net::MacAddr& mac) const {
+  for (int i = 5; i >= 0; --i) {
+    mac.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+std::uint64_t PhvContext::get(const std::string& field) const {
+  if (field.starts_with("meta.") || field.starts_with("std.")) {
+    auto it = meta_.find(field);
+    return it == meta_.end() ? 0 : it->second;
+  }
+  if (!parsed_ok_) return 0;
+  if (field == "eth.dst") return mac_to_u64(layers_.eth.dst);
+  if (field == "eth.src") return mac_to_u64(layers_.eth.src);
+  if (field == "eth.type") return layers_.eth.ether_type;
+  if (layers_.vlan) {
+    if (field == "vlan.vid") return layers_.vlan->vid;
+    if (field == "vlan.pcp") return layers_.vlan->pcp;
+  }
+  if (layers_.nsh) {
+    if (field == "nsh.spi") return layers_.nsh->spi;
+    if (field == "nsh.si") return layers_.nsh->si;
+  }
+  if (layers_.ipv4) {
+    if (field == "ipv4.src") return layers_.ipv4->src.value;
+    if (field == "ipv4.dst") return layers_.ipv4->dst.value;
+    if (field == "ipv4.ttl") return layers_.ipv4->ttl;
+    if (field == "ipv4.proto") return layers_.ipv4->protocol;
+    if (field == "ipv4.dscp") return layers_.ipv4->dscp;
+  }
+  if (layers_.tcp) {
+    if (field == "l4.sport") return layers_.tcp->src_port;
+    if (field == "l4.dport") return layers_.tcp->dst_port;
+  }
+  if (layers_.udp) {
+    if (field == "l4.sport") return layers_.udp->src_port;
+    if (field == "l4.dport") return layers_.udp->dst_port;
+  }
+  return 0;
+}
+
+void PhvContext::set(const std::string& field, std::uint64_t value) {
+  if (field.starts_with("meta.") || field.starts_with("std.")) {
+    meta_[field] = value;
+    return;
+  }
+  if (!parsed_ok_) return;
+  dirty_ = true;
+  if (field == "eth.dst") {
+    u64_to_mac(value, layers_.eth.dst);
+  } else if (field == "eth.src") {
+    u64_to_mac(value, layers_.eth.src);
+  } else if (field == "vlan.vid" && layers_.vlan) {
+    layers_.vlan->vid = static_cast<std::uint16_t>(value & 0xfff);
+  } else if (field == "vlan.pcp" && layers_.vlan) {
+    layers_.vlan->pcp = static_cast<std::uint8_t>(value & 0x7);
+  } else if (field == "nsh.spi" && layers_.nsh) {
+    layers_.nsh->spi = static_cast<std::uint32_t>(value) &
+                       net::NshHeader::kMaxSpi;
+  } else if (field == "nsh.si" && layers_.nsh) {
+    layers_.nsh->si = static_cast<std::uint8_t>(value);
+  } else if (field == "ipv4.src" && layers_.ipv4) {
+    layers_.ipv4->src.value = static_cast<std::uint32_t>(value);
+  } else if (field == "ipv4.dst" && layers_.ipv4) {
+    layers_.ipv4->dst.value = static_cast<std::uint32_t>(value);
+  } else if (field == "ipv4.ttl" && layers_.ipv4) {
+    layers_.ipv4->ttl = static_cast<std::uint8_t>(value);
+  } else if (field == "ipv4.dscp" && layers_.ipv4) {
+    layers_.ipv4->dscp = static_cast<std::uint8_t>(value);
+  } else if (field == "l4.sport" || field == "l4.dport") {
+    const bool is_src = field == "l4.sport";
+    if (layers_.tcp) {
+      (is_src ? layers_.tcp->src_port : layers_.tcp->dst_port) =
+          static_cast<std::uint16_t>(value);
+    } else if (layers_.udp) {
+      (is_src ? layers_.udp->src_port : layers_.udp->dst_port) =
+          static_cast<std::uint16_t>(value);
+    }
+  } else {
+    dirty_ = false;  // Unknown field or absent header: ignored.
+  }
+}
+
+std::uint64_t PhvContext::flow_hash() const {
+  if (!parsed_ok_) return 0;
+  auto tuple = net::FiveTuple::from(layers_);
+  return tuple ? tuple->hash() : 0;
+}
+
+void PhvContext::flush() {
+  if (!dirty_ || !parsed_ok_) return;
+  // Ethernet.
+  {
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(net::EthernetHeader::kSize);
+    net::BufWriter w(bytes);
+    layers_.eth.encode(w);
+    std::copy(bytes.begin(), bytes.end(), pkt_.data.begin());
+  }
+  if (layers_.vlan) {
+    std::vector<std::uint8_t> bytes;
+    net::BufWriter w(bytes);
+    layers_.vlan->encode(w);
+    std::copy(bytes.begin(), bytes.end(),
+              pkt_.data.begin() +
+                  static_cast<std::ptrdiff_t>(layers_.vlan_offset));
+  }
+  if (layers_.nsh) {
+    std::vector<std::uint8_t> bytes;
+    net::BufWriter w(bytes);
+    layers_.nsh->encode(w);
+    std::copy(bytes.begin(), bytes.end(),
+              pkt_.data.begin() +
+                  static_cast<std::ptrdiff_t>(layers_.nsh_offset));
+  }
+  if (layers_.ipv4) {
+    net::patch_ipv4(pkt_, layers_, *layers_.ipv4);
+  }
+  if (layers_.tcp) {
+    net::patch_l4_ports(pkt_, layers_, layers_.tcp->src_port,
+                        layers_.tcp->dst_port);
+  } else if (layers_.udp) {
+    net::patch_l4_ports(pkt_, layers_, layers_.udp->src_port,
+                        layers_.udp->dst_port);
+  }
+  dirty_ = false;
+}
+
+void PhvContext::push_vlan(std::uint16_t vid) {
+  flush();
+  net::push_vlan(pkt_, vid);
+  reparse();
+}
+
+void PhvContext::pop_vlan() {
+  flush();
+  net::pop_vlan(pkt_);
+  reparse();
+}
+
+void PhvContext::push_nsh(std::uint32_t spi, std::uint8_t si) {
+  flush();
+  net::push_nsh(pkt_, spi, si);
+  reparse();
+}
+
+void PhvContext::pop_nsh() {
+  flush();
+  net::pop_nsh(pkt_);
+  reparse();
+}
+
+void PhvContext::set_nsh(std::uint32_t spi, std::uint8_t si) {
+  flush();
+  net::set_nsh(pkt_, spi, si);
+  reparse();
+}
+
+}  // namespace lemur::pisa

@@ -1,0 +1,63 @@
+// PhvContext: a packet header vector view over a net::Packet.
+//
+// Gives the match-action simulators uniform named-field access ("ipv4.dst",
+// "meta.branch", "std.drop") plus structural header operations. Writes are
+// buffered in decoded header structs and flushed back to the wire bytes
+// (with fresh checksums) on flush() or before any structural change.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/net/packet.h"
+
+namespace lemur::pisa {
+
+class PhvContext {
+ public:
+  /// Parses the packet. The packet must outlive the context.
+  explicit PhvContext(net::Packet& pkt);
+
+  /// Reads a field; unknown or absent fields read as 0.
+  [[nodiscard]] std::uint64_t get(const std::string& field) const;
+
+  /// Writes a field. Writes to absent wire headers are ignored; metadata
+  /// fields ("meta.*", "std.*") always succeed.
+  void set(const std::string& field, std::uint64_t value);
+
+  void push_vlan(std::uint16_t vid);
+  void pop_vlan();
+  void push_nsh(std::uint32_t spi, std::uint8_t si);
+  void pop_nsh();
+  void set_nsh(std::uint32_t spi, std::uint8_t si);
+
+  [[nodiscard]] bool dropped() const { return get("std.drop") != 0; }
+  [[nodiscard]] std::uint32_t egress_port() const {
+    return static_cast<std::uint32_t>(get("std.egress_port"));
+  }
+
+  /// 64-bit hash of the packet's flow 5-tuple (0 for non-IP packets) —
+  /// the simulator's stand-in for the PISA hash engine.
+  [[nodiscard]] std::uint64_t flow_hash() const;
+
+  [[nodiscard]] bool has_ipv4() const { return layers_.ipv4.has_value(); }
+  [[nodiscard]] bool has_nsh() const { return layers_.nsh.has_value(); }
+  [[nodiscard]] bool has_vlan() const { return layers_.vlan.has_value(); }
+
+  /// Writes buffered header edits back into the packet bytes.
+  void flush();
+
+ private:
+  void reparse();
+  [[nodiscard]] std::uint64_t mac_to_u64(const net::MacAddr& mac) const;
+  void u64_to_mac(std::uint64_t v, net::MacAddr& mac) const;
+
+  net::Packet& pkt_;
+  net::ParsedLayers layers_;
+  bool parsed_ok_ = false;
+  bool dirty_ = false;
+  std::map<std::string, std::uint64_t> meta_;
+};
+
+}  // namespace lemur::pisa

@@ -1,0 +1,197 @@
+#include "src/pisa/switch_sim.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace lemur::pisa {
+namespace {
+
+std::uint64_t width_mask(int bits) {
+  return bits >= 64 ? ~0ull : (1ull << bits) - 1;
+}
+
+}  // namespace
+
+bool RuntimeTable::add(TableEntry entry) {
+  if (def_ == nullptr) return false;
+  if (entry.key.size() != def_->match.size()) return false;
+  if (def_->find_action(entry.action) == nullptr) return false;
+  if (static_cast<int>(entries_.size()) >= def_->size) return false;
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+bool RuntimeTable::matches(const TableEntry& e, const PhvContext& ctx,
+                           int& specificity) const {
+  specificity = e.priority * 4096;
+  for (std::size_t i = 0; i < e.key.size(); ++i) {
+    const MatchField& field = def_->match[i];
+    const std::uint64_t actual =
+        ctx.get(field.field) & width_mask(field.bits);
+    const MatchValue& mv = e.key[i];
+    switch (field.kind) {
+      case MatchKind::kExact:
+        if (actual != (mv.value & width_mask(field.bits))) return false;
+        specificity += field.bits;
+        break;
+      case MatchKind::kLpm: {
+        if (mv.prefix_len == 0) break;  // 0-length prefix matches all.
+        const int shift = field.bits - mv.prefix_len;
+        if ((actual >> shift) != ((mv.value & width_mask(field.bits)) >>
+                                  shift)) {
+          return false;
+        }
+        specificity += mv.prefix_len;
+        break;
+      }
+      case MatchKind::kTernary:
+        if ((actual & mv.mask) != (mv.value & mv.mask)) return false;
+        specificity += static_cast<int>(std::popcount(mv.mask));
+        break;
+    }
+  }
+  return true;
+}
+
+const TableEntry* RuntimeTable::lookup(const PhvContext& ctx) const {
+  const TableEntry* best = nullptr;
+  int best_spec = -1;
+  for (const auto& e : entries_) {
+    int spec = 0;
+    if (matches(e, ctx, spec) && spec > best_spec) {
+      best = &e;
+      best_spec = spec;
+    }
+  }
+  return best;
+}
+
+void execute_action(const ActionDef& action,
+                    const std::vector<std::uint64_t>& params,
+                    PhvContext& ctx) {
+  auto param = [&params](int i) -> std::uint64_t {
+    return i >= 0 && static_cast<std::size_t>(i) < params.size()
+               ? params[static_cast<std::size_t>(i)]
+               : 0;
+  };
+  for (const auto& op : action.ops) {
+    switch (op.kind) {
+      case PrimitiveOp::Kind::kNoOp:
+        break;
+      case PrimitiveOp::Kind::kSetFieldImm:
+        ctx.set(op.field, static_cast<std::uint64_t>(op.imm));
+        break;
+      case PrimitiveOp::Kind::kSetFieldParam:
+        ctx.set(op.field, param(op.param));
+        break;
+      case PrimitiveOp::Kind::kCopyField:
+        ctx.set(op.field, ctx.get(op.src_field));
+        break;
+      case PrimitiveOp::Kind::kAddImm:
+        ctx.set(op.field, static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(ctx.get(op.field)) +
+                              op.imm));
+        break;
+      case PrimitiveOp::Kind::kDrop:
+        ctx.set("std.drop", 1);
+        break;
+      case PrimitiveOp::Kind::kEgressParam:
+        ctx.set("std.egress_port", param(op.param));
+        break;
+      case PrimitiveOp::Kind::kPushVlanParam:
+        ctx.push_vlan(static_cast<std::uint16_t>(param(op.param)));
+        break;
+      case PrimitiveOp::Kind::kPopVlan:
+        ctx.pop_vlan();
+        break;
+      case PrimitiveOp::Kind::kPushNshParams:
+        ctx.push_nsh(static_cast<std::uint32_t>(param(op.param)),
+                     static_cast<std::uint8_t>(param(op.param + 1)));
+        break;
+      case PrimitiveOp::Kind::kPopNsh:
+        ctx.pop_nsh();
+        break;
+      case PrimitiveOp::Kind::kSetNshParams:
+        ctx.set_nsh(static_cast<std::uint32_t>(param(op.param)),
+                    static_cast<std::uint8_t>(param(op.param + 1)));
+        break;
+      case PrimitiveOp::Kind::kHashSelectParams: {
+        const std::uint64_t mod = param(op.param);
+        const std::uint64_t base = param(op.param + 1);
+        ctx.set(op.field, base + (mod > 0 ? ctx.flow_hash() % mod : 0));
+        break;
+      }
+      case PrimitiveOp::Kind::kAndFieldParam:
+        ctx.set(op.field, ctx.get(op.field) & param(op.param));
+        break;
+    }
+  }
+}
+
+PisaSwitch::PisaSwitch(P4Program program, topo::PisaSwitchSpec spec)
+    : program_(std::move(program)), spec_(std::move(spec)) {}
+
+CompileResult PisaSwitch::load() {
+  compile_result_ = compile(program_, spec_);
+  loaded_ = compile_result_.ok;
+  if (loaded_) {
+    tables_.clear();
+    for (const auto& t : program_.tables) {
+      tables_.emplace(t.name, RuntimeTable(&t));
+    }
+  }
+  return compile_result_;
+}
+
+bool PisaSwitch::add_entry(const std::string& table, TableEntry entry) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return false;
+  return it->second.add(std::move(entry));
+}
+
+PisaSwitch::ProcessResult PisaSwitch::process(net::Packet& pkt) {
+  ProcessResult out;
+  if (!loaded_) {
+    out.dropped = true;
+    return out;
+  }
+  ++packets_processed_;
+  PhvContext ctx(pkt);
+  for (const auto& stage : compile_result_.stages) {
+    for (int apply_index : stage.applies) {
+      if (ctx.dropped()) break;
+      const TableApply& apply =
+          program_.control[static_cast<std::size_t>(apply_index)];
+      bool guard_ok = true;
+      for (const auto& cond : apply.guard.all_of) {
+        if (!cond.eval(ctx.get(cond.field))) {
+          guard_ok = false;
+          break;
+        }
+      }
+      if (!guard_ok) continue;
+      const TableDef& table = program_.table(apply.table);
+      const RuntimeTable& runtime = tables_.at(table.name);
+      const TableEntry* entry = runtime.lookup(ctx);
+      if (entry != nullptr) {
+        execute_action(*table.find_action(entry->action), entry->params, ctx);
+      } else if (!table.default_action.empty()) {
+        const ActionDef* def_action = table.find_action(table.default_action);
+        if (def_action != nullptr) {
+          execute_action(*def_action, table.default_params, ctx);
+        }
+      }
+    }
+    if (ctx.dropped()) break;
+  }
+  ctx.flush();
+  out.dropped = ctx.dropped();
+  out.egress_port = ctx.egress_port();
+  if (out.dropped) {
+    ++packets_dropped_;
+    pkt.drop = true;
+  }
+  return out;
+}
+
+}  // namespace lemur::pisa

@@ -1,0 +1,116 @@
+// The PISA switch runtime: executes a compiled P4Program over packets.
+//
+// The switch processes at line rate regardless of program complexity (the
+// property the Placer relies on); what it cannot do is run a program that
+// failed to compile. Table entries are installed at runtime, mirroring the
+// control-plane API of a real switch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/pisa/compiler.h"
+#include "src/pisa/p4_ir.h"
+#include "src/pisa/phv.h"
+
+namespace lemur::pisa {
+
+/// One match value of a runtime table entry. Interpretation depends on the
+/// corresponding MatchField's kind:
+///  - kExact:   value must equal the packet field.
+///  - kLpm:     the top `prefix_len` bits of `value` must match.
+///  - kTernary: (packet & mask) == (value & mask).
+struct MatchValue {
+  std::uint64_t value = 0;
+  std::uint64_t mask = ~0ull;
+  int prefix_len = 0;
+
+  static MatchValue exact(std::uint64_t v) { return {v, ~0ull, 0}; }
+  static MatchValue lpm(std::uint64_t v, int len) { return {v, 0, len}; }
+  static MatchValue ternary(std::uint64_t v, std::uint64_t m) {
+    return {v, m, 0};
+  }
+  static MatchValue wildcard() { return {0, 0, 0}; }
+};
+
+struct TableEntry {
+  std::vector<MatchValue> key;
+  int priority = 0;  ///< Higher wins among ternary candidates.
+  std::string action;
+  std::vector<std::uint64_t> params;
+};
+
+/// A table populated with runtime entries.
+class RuntimeTable {
+ public:
+  RuntimeTable() = default;
+  explicit RuntimeTable(const TableDef* def) : def_(def) {}
+
+  /// Returns false if the entry is malformed (key arity mismatch or
+  /// unknown action) or the table is full.
+  bool add(TableEntry entry);
+
+  [[nodiscard]] const TableEntry* lookup(const PhvContext& ctx) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const TableDef& def() const { return *def_; }
+
+ private:
+  [[nodiscard]] bool matches(const TableEntry& e, const PhvContext& ctx,
+                             int& specificity) const;
+
+  const TableDef* def_ = nullptr;
+  std::vector<TableEntry> entries_;
+};
+
+/// The loaded switch.
+class PisaSwitch {
+ public:
+  PisaSwitch(P4Program program, topo::PisaSwitchSpec spec);
+
+  /// Compiles the program; must succeed before process() is used.
+  CompileResult load();
+
+  [[nodiscard]] bool loaded() const { return loaded_; }
+  [[nodiscard]] const CompileResult& compile_result() const {
+    return compile_result_;
+  }
+  [[nodiscard]] const P4Program& program() const { return program_; }
+
+  /// Installs an entry into the named table.
+  bool add_entry(const std::string& table, TableEntry entry);
+
+  struct ProcessResult {
+    bool dropped = false;
+    std::uint32_t egress_port = 0;
+  };
+
+  /// Runs one packet through the pipeline, mutating it in place.
+  ProcessResult process(net::Packet& pkt);
+
+  [[nodiscard]] std::uint64_t packets_processed() const {
+    return packets_processed_;
+  }
+  [[nodiscard]] std::uint64_t packets_dropped() const {
+    return packets_dropped_;
+  }
+
+ private:
+  P4Program program_;
+  topo::PisaSwitchSpec spec_;
+  CompileResult compile_result_;
+  bool loaded_ = false;
+  std::unordered_map<std::string, RuntimeTable> tables_;
+  std::uint64_t packets_processed_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+/// Executes one action's primitive ops against the context.
+void execute_action(const ActionDef& action,
+                    const std::vector<std::uint64_t>& params,
+                    PhvContext& ctx);
+
+}  // namespace lemur::pisa

@@ -1,0 +1,34 @@
+// Core allocation: places subgroups onto servers and distributes spare
+// cores. The modes mirror the evaluated strategies (paper sections 3.2
+// and 5.1): Lemur/Optimal maximize marginal throughput; HW Preferred
+// spreads spare cores evenly; Greedy satisfies SLOs sequentially by
+// chain index; the No-Core-Allocation ablation stops at one core per
+// subgroup.
+#pragma once
+
+#include "src/placer/evaluate.h"
+
+namespace lemur::placer {
+
+enum class AllocMode {
+  kMaximizeMarginal,
+  kEvenSpread,
+  kSequentialSlo,
+  kNone,
+};
+
+struct AllocOutcome {
+  bool ok = false;
+  std::string reason;
+};
+
+/// Assigns every subgroup a server and a core count (mutating the
+/// deployment). Fails only when the mandatory one-core-per-subgroup
+/// packing does not fit; SLO shortfalls are left for evaluate() to flag.
+/// `belief` is the strategy's possibly-miscalibrated profile view.
+AllocOutcome allocate_cores(Deployment& deployment,
+                            const std::vector<chain::ChainSpec>& chains,
+                            const topo::Topology& topo,
+                            const PlacerOptions& belief, AllocMode mode);
+
+}  // namespace lemur::placer

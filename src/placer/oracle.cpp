@@ -1,0 +1,27 @@
+#include "src/placer/oracle.h"
+
+namespace lemur::placer {
+
+SwitchOracle::Check EstimateOracle::check(
+    const std::vector<chain::ChainSpec>& chains,
+    const std::vector<std::vector<int>>& pisa_nodes) {
+  Check out;
+  int tables = 0;
+  bool any = false;
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    for (int id : pisa_nodes[c]) {
+      tables += nf::spec_of(chains[c].graph.node(id).type).p4_tables;
+      any = true;
+    }
+  }
+  // Encap/decap burn two stages; SPI/SI steering one (section 5.3).
+  out.stages_required = any ? tables + 3 : 0;
+  out.fits = out.stages_required <= spec_.stages;
+  if (!out.fits) {
+    out.error = "estimated " + std::to_string(out.stages_required) +
+                " stages > " + std::to_string(spec_.stages);
+  }
+  return out;
+}
+
+}  // namespace lemur::placer

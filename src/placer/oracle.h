@@ -1,0 +1,48 @@
+// The PISA feasibility oracle (paper section 3.2): today's PISA switches
+// expose no cheap API to check whether a set of NFs fits the pipeline —
+// stage packing is a property of the platform compiler. Placer therefore
+// asks an oracle; the production implementation (metacompiler) composes
+// the unified P4 program and invokes the real compiler, while the
+// fallback estimates conservatively (a Sonata-style static analysis,
+// which the paper shows strands resources).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/chain/canonical.h"
+#include "src/topo/topology.h"
+
+namespace lemur::placer {
+
+class SwitchOracle {
+ public:
+  struct Check {
+    bool fits = false;
+    int stages_required = 0;
+    std::string error;
+  };
+
+  virtual ~SwitchOracle() = default;
+
+  /// Does placing `pisa_nodes[c]` (node ids of chains[c]) on the switch
+  /// compile within its resources?
+  virtual Check check(const std::vector<chain::ChainSpec>& chains,
+                      const std::vector<std::vector<int>>& pisa_nodes) = 0;
+};
+
+/// Conservative estimator: every table consumes its own stage (no
+/// packing), plus the NSH encap/decap and steering stages.
+class EstimateOracle : public SwitchOracle {
+ public:
+  explicit EstimateOracle(topo::PisaSwitchSpec spec)
+      : spec_(std::move(spec)) {}
+
+  Check check(const std::vector<chain::ChainSpec>& chains,
+              const std::vector<std::vector<int>>& pisa_nodes) override;
+
+ private:
+  topo::PisaSwitchSpec spec_;
+};
+
+}  // namespace lemur::placer

@@ -1,0 +1,65 @@
+#include "src/placer/profile.h"
+
+#include <algorithm>
+
+#include "src/nf/software/software_nf.h"
+
+namespace lemur::placer {
+
+std::uint64_t profiled_cycles(const chain::NfNode& node,
+                              const topo::ServerSpec& server,
+                              const PlacerOptions& options) {
+  if (options.no_profiling) return options.uniform_cost_cycles;
+  double cycles = static_cast<double>(
+      nf::worst_case_cycles(node.type, node.config));
+  if (options.numa_worst_case) cycles *= server.cross_numa_factor;
+  cycles *= options.profile_scale;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(cycles));
+}
+
+double pps_to_gbps(double pps, const PlacerOptions& options) {
+  return pps * options.packet_bytes * 8.0 / 1e9;
+}
+
+double gbps_to_pps(double gbps, const PlacerOptions& options) {
+  return gbps * 1e9 / (options.packet_bytes * 8.0);
+}
+
+double chain_base_rate_gbps(const chain::NfGraph& graph,
+                            const topo::ServerSpec& server,
+                            const PlacerOptions& options) {
+  std::uint64_t slowest = 1;
+  for (const auto& node : graph.nodes()) {
+    // Every NF in Table 3 has a software implementation; base rate uses
+    // true profiles even for the no-profiling ablation (the *experiment
+    // parameterization* must not change with the strategy under test).
+    PlacerOptions profile_options = options;
+    profile_options.profile_scale = 1.0;
+    profile_options.no_profiling = false;
+    slowest = std::max(slowest,
+                       profiled_cycles(node, server, profile_options));
+  }
+  const double pps = server.clock_ghz * 1e9 / static_cast<double>(slowest);
+  return pps_to_gbps(pps, options);
+}
+
+void apply_delta(std::vector<chain::ChainSpec>& chains, double delta,
+                 const topo::ServerSpec& server,
+                 const PlacerOptions& options) {
+  for (auto& spec : chains) {
+    spec.slo.t_min_gbps =
+        delta * chain_base_rate_gbps(spec.graph, server, options);
+  }
+}
+
+std::vector<double> node_traffic_fractions(const chain::NfGraph& graph) {
+  std::vector<double> fractions(graph.nodes().size(), 0.0);
+  for (const auto& path : graph.linear_paths()) {
+    for (int id : path.nodes) {
+      fractions[static_cast<std::size_t>(id)] += path.fraction;
+    }
+  }
+  return fractions;
+}
+
+}  // namespace lemur::placer

@@ -1,0 +1,40 @@
+// NF profiles (paper section 3.2, "Profiling and Estimated Throughput"):
+// worst-case cycles/packet per NF instance, with the linear table-size
+// model and conservative cross-socket assumption, plus the per-chain
+// "base rate" that parameterizes the delta sweeps of section 5.1.
+#pragma once
+
+#include <cstdint>
+
+#include "src/placer/types.h"
+
+namespace lemur::placer {
+
+/// Worst-case cycles/packet the Placer budgets for a node, honoring the
+/// options' conservatism knobs (NUMA worst case, profile scaling, the
+/// no-profiling ablation).
+std::uint64_t profiled_cycles(const chain::NfNode& node,
+                              const topo::ServerSpec& server,
+                              const PlacerOptions& options);
+
+/// Packets/s -> Gbps for the configured frame size.
+double pps_to_gbps(double pps, const PlacerOptions& options);
+double gbps_to_pps(double gbps, const PlacerOptions& options);
+
+/// The chain's base rate (section 5.1): the rate with one core on the
+/// slowest software NF. t_min = delta x base rate in the experiments.
+double chain_base_rate_gbps(const chain::NfGraph& graph,
+                            const topo::ServerSpec& server,
+                            const PlacerOptions& options);
+
+/// Per-node traffic fraction: the share of the chain's rate that crosses
+/// the node (sum over linear paths containing it).
+std::vector<double> node_traffic_fractions(const chain::NfGraph& graph);
+
+/// Experiment parameterization (section 5.1): sets every chain's t_min to
+/// delta x its base rate.
+void apply_delta(std::vector<chain::ChainSpec>& chains, double delta,
+                 const topo::ServerSpec& server,
+                 const PlacerOptions& options);
+
+}  // namespace lemur::placer

@@ -1,0 +1,41 @@
+#include "src/placer/types.h"
+
+namespace lemur::placer {
+
+const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kLemur:
+      return "Lemur";
+    case Strategy::kOptimal:
+      return "Optimal";
+    case Strategy::kHwPreferred:
+      return "HW Preferred";
+    case Strategy::kSwPreferred:
+      return "SW Preferred";
+    case Strategy::kMinimumBounce:
+      return "Min Bounce";
+    case Strategy::kGreedy:
+      return "Greedy";
+    case Strategy::kNoProfiling:
+      return "No Profiling";
+    case Strategy::kNoCoreAllocation:
+      return "No Core Alloc";
+  }
+  return "?";
+}
+
+const char* to_string(Target target) {
+  switch (target) {
+    case Target::kPisa:
+      return "P4";
+    case Target::kServer:
+      return "BESS";
+    case Target::kSmartNic:
+      return "NIC";
+    case Target::kOpenFlow:
+      return "OF";
+  }
+  return "?";
+}
+
+}  // namespace lemur::placer

@@ -1,0 +1,561 @@
+#include "src/runtime/testbed.h"
+
+#include <algorithm>
+
+#include "src/nf/software/crypto_nfs.h"
+#include "src/nf/software/factory.h"
+#include "src/placer/profile.h"
+
+namespace lemur::runtime {
+
+/// Wire from the ToR to a server NIC: packets become visible to PortInc
+/// once their ready time passes.
+class Testbed::WireSource : public bess::PacketSource {
+ public:
+  void push(net::Packet pkt, std::uint64_t ready_ns) {
+    if (fifo_.size() >= kCapacity) {
+      ++drops_;
+      return;
+    }
+    fifo_.emplace_back(ready_ns, std::move(pkt));
+  }
+
+  std::size_t pull(net::PacketBatch& out, std::size_t max,
+                   std::uint64_t now_ns) override {
+    std::size_t n = 0;
+    while (n < max && !fifo_.empty() && fifo_.front().first <= now_ns) {
+      out.push(std::move(fifo_.front().second));
+      fifo_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::size_t depth() const { return fifo_.size(); }
+
+ private:
+  static constexpr std::size_t kCapacity = 16384;
+  std::deque<std::pair<std::uint64_t, net::Packet>> fifo_;
+  std::uint64_t drops_ = 0;
+};
+
+/// Collects server egress for re-injection at the ToR.
+class Testbed::ReturnSink : public bess::PacketSink {
+ public:
+  void push(net::PacketBatch&& batch, std::uint64_t now_ns) override {
+    for (auto& pkt : batch) {
+      collected_.emplace_back(now_ns, std::move(pkt));
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, net::Packet>> drain() {
+    return std::exchange(collected_, {});
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, net::Packet>> collected_;
+};
+
+Testbed::Testbed(const std::vector<chain::ChainSpec>& chains,
+                 const placer::PlacementResult& placement,
+                 const metacompiler::CompiledArtifacts& artifacts,
+                 const topo::Topology& topo, std::uint64_t seed,
+                 FlowMode flow_mode)
+    : chains_(chains),
+      placement_(placement),
+      artifacts_(artifacts),
+      topo_(topo),
+      flow_mode_(flow_mode),
+      seed_(seed) {
+  if (!artifacts.ok) {
+    error_ = "artifacts not compiled: " + artifacts.error;
+    return;
+  }
+  delivered_bytes_.assign(chains.size(), 0);
+  latency_sum_ns_.assign(chains.size(), 0);
+  delivered_packets_.assign(chains.size(), 0);
+  build_endpoints();
+  build_tor();
+  if (!error_.empty()) return;
+  build_servers(seed);
+  build_nics();
+  build_openflow();
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::build_endpoints() {
+  for (const auto& routing : artifacts_.routings) {
+    for (const auto& segment : routing.segments) {
+      Endpoint ep;
+      ep.target = segment.target;
+      if (segment.target == placer::Target::kServer) {
+        for (const auto& g : placement_.subgroups) {
+          if (g.chain == segment.chain && g.nodes == segment.nodes) {
+            ep.server = g.server;
+          }
+        }
+      } else if (segment.target == placer::Target::kSmartNic) {
+        ep.server = topo_.smartnics.empty()
+                        ? 0
+                        : topo_.smartnics.front().attached_server;
+      }
+      for (const auto& entry : segment.entries) {
+        endpoints_[endpoint_key(entry.spi, entry.si)] = ep;
+      }
+    }
+  }
+}
+
+void Testbed::build_tor() {
+  tor_ = std::make_unique<pisa::PisaSwitch>(artifacts_.p4.program,
+                                            topo_.tor);
+  auto compiled = tor_->load();
+  if (!compiled.ok) {
+    error_ = "ToR program failed to compile: " + compiled.error;
+    return;
+  }
+  for (const auto& [table, entry] : artifacts_.p4.entries) {
+    if (!tor_->add_entry(table, entry)) {
+      error_ = "failed to install entry into '" + table + "'";
+      return;
+    }
+  }
+}
+
+void Testbed::build_servers(std::uint64_t seed) {
+  servers_.resize(topo_.servers.size());
+  for (std::size_t s = 0; s < topo_.servers.size(); ++s) {
+    auto& rt = servers_[s];
+    rt.dataplane = std::make_unique<bess::ServerDataplane>(
+        topo_.servers[s], seed + s);
+    rt.source = std::make_unique<WireSource>();
+    rt.sink = std::make_unique<ReturnSink>();
+    auto& dp = *rt.dataplane;
+
+    const auto& plan = artifacts_.server_plans[s];
+    if (plan.segments.empty()) continue;
+
+    auto* inc = dp.add_module<bess::PortInc>("port_inc", rt.source.get());
+    auto* demux = dp.add_module<bess::NshDecap>("demux");
+    auto* out = dp.add_module<bess::PortOut>("port_out", rt.sink.get());
+    auto* loopback = dp.add_module<bess::Queue>("loopback", 8192);
+    inc->connect(0, demux);
+    dp.add_task(0, bess::Task(inc));
+    dp.add_task(0, bess::Task(loopback, demux));
+
+    int next_core = 1;
+    std::map<int, int> shared_core_of_group;
+    int demux_gate = 0;
+    for (std::size_t i = 0; i < plan.segments.size(); ++i) {
+      const auto& seg = plan.segments[i];
+      const auto& graph =
+          chains_[static_cast<std::size_t>(seg.chain)].graph;
+      const std::string id =
+          "c" + std::to_string(seg.chain) + "_s" + std::to_string(i);
+
+      // Replica queues fed from the demux (via round-robin when k > 1).
+      std::vector<bess::Queue*> queues;
+      if (seg.cores > 1) {
+        auto* steer =
+            dp.add_module<bess::LoadBalanceSteer>("steer_" + id, seg.cores);
+        demux->map(seg.spi_in, seg.si_in, demux_gate);
+        demux->connect(demux_gate++, steer);
+        for (int r = 0; r < seg.cores; ++r) {
+          auto* q = dp.add_module<bess::Queue>(
+              "q_" + id + "_r" + std::to_string(r), 4096);
+          steer->connect(r, q);
+          queues.push_back(q);
+        }
+      } else {
+        auto* q = dp.add_module<bess::Queue>("q_" + id + "_r0", 4096);
+        demux->map(seg.spi_in, seg.si_in, demux_gate);
+        demux->connect(demux_gate++, q);
+        queues.push_back(q);
+      }
+
+      for (int r = 0; r < seg.cores; ++r) {
+        // Per-replica NF instances: replicable stateful NFs partition
+        // their state across cores.
+        bess::Module* head = nullptr;
+        bess::Module* tail = nullptr;
+        for (int node_id : seg.nodes) {
+          const auto& node = graph.node(node_id);
+          // Replicated NATs partition the external port space: each
+          // replica allocates from a disjoint range, so translations
+          // never collide across cores (the paper's section 3.2
+          // future-work scheme).
+          nf::NfConfig node_config = node.config;
+          if (node.type == nf::NfType::kNat && seg.cores > 1) {
+            const std::int64_t base = node_config.int_or("port_base", 10000);
+            const std::int64_t span = (65000 - base) / seg.cores;
+            node_config.ints["port_base"] = base + r * span;
+            node_config.ints["entries"] =
+                std::min<std::int64_t>(node_config.int_or("entries", 12000),
+                                       span);
+          }
+          auto nf_impl = nf::make_software_nf(node.type, node_config);
+          // Branch Match NFs with no configured rules take the
+          // metacompiler's generated steering rules.
+          if (node.type == nf::NfType::kMatch &&
+              !seg.generated_steering.empty() &&
+              node_id == seg.nodes.back()) {
+            auto* match = dynamic_cast<nf::MatchNf*>(nf_impl.get());
+            if (match != nullptr && match->match_rules().empty()) {
+              for (const auto& rule : seg.generated_steering) {
+                match->add_rule(rule);
+              }
+            }
+          }
+          auto* module = dp.add_module<nf::NfModule>(
+              id + "_r" + std::to_string(r) + "_" + node.instance_name,
+              std::move(nf_impl));
+          if (head == nullptr) head = module;
+          if (tail != nullptr) tail->connect(0, module);
+          tail = module;
+        }
+
+        // Generated steering module after a non-Match branching tail.
+        const int tail_node = seg.nodes.back();
+        const bool tail_is_match =
+            graph.node(tail_node).type == nf::NfType::kMatch;
+        if (seg.needs_generated_steering() && !tail_is_match) {
+          nf::NfConfig empty;
+          auto steer_nf = std::make_unique<nf::MatchNf>(empty);
+          for (const auto& rule : seg.generated_steering) {
+            steer_nf->add_rule(rule);
+          }
+          auto* module = dp.add_module<nf::NfModule>(
+              id + "_r" + std::to_string(r) + "_gen_steer",
+              std::move(steer_nf));
+          if (tail != nullptr) tail->connect(0, module);
+          if (head == nullptr) head = module;
+          tail = module;
+        }
+
+        // Exits: NSH re-encapsulation per gate; local hand-offs loop back
+        // into the shared demux without touching the NIC.
+        for (const auto& exit : seg.exits) {
+          auto* encap = dp.add_module<bess::NshEncap>(
+              "encap_" + id + "_r" + std::to_string(r) + "_g" +
+                  std::to_string(exit.gate),
+              exit.spi, exit.si);
+          tail->connect(exit.gate, encap);
+          const auto it =
+              endpoints_.find(endpoint_key(exit.spi, exit.si));
+          const bool local = it != endpoints_.end() &&
+                             it->second.target == placer::Target::kServer &&
+                             it->second.server == static_cast<int>(s);
+          encap->connect(0, local ? static_cast<bess::Module*>(loopback)
+                                  : static_cast<bess::Module*>(out));
+        }
+
+        // Schedule this replica. Shared-core groups (round-robin
+        // subgroups, appendix A.1.3) land on one physical core; dedicated
+        // replicas fill cores sequentially — socket 0 first, matching the
+        // paper's observation that same-socket placement often beats the
+        // worst-case cross-NUMA profile.
+        int core;
+        if (seg.core_group >= 0) {
+          auto it = shared_core_of_group.find(seg.core_group);
+          if (it == shared_core_of_group.end()) {
+            core = next_core < dp.num_cores() ? next_core
+                                              : dp.num_cores() - 1;
+            shared_core_of_group.emplace(seg.core_group, core);
+            ++next_core;
+          } else {
+            core = it->second;
+          }
+        } else {
+          core = next_core < dp.num_cores() ? next_core
+                                            : dp.num_cores() - 1;
+          ++next_core;
+        }
+        // t_max enforcement lives in the BESS scheduler (appendix
+        // A.1.3): each replica's task is rate-limited to its share of
+        // the chain's burst cap.
+        bess::RateLimit limit;
+        const double t_max =
+            chains_[static_cast<std::size_t>(seg.chain)].slo.t_max_gbps;
+        if (t_max < chain::Slo::kUnbounded) {
+          limit.bits_per_sec = t_max * 1e9 * seg.traffic_fraction /
+                               std::max(1, seg.cores);
+          limit.burst_bits = 2e6;
+        }
+        dp.add_task(core, bess::Task(queues[static_cast<std::size_t>(r)],
+                                     head),
+                    limit);
+      }
+    }
+  }
+}
+
+void Testbed::build_nics() {
+  for (const auto& artifact : artifacts_.nic_programs) {
+    const int server =
+        topo_.smartnics.empty()
+            ? 0
+            : topo_.smartnics[static_cast<std::size_t>(artifact.smartnic)]
+                  .attached_server;
+    auto& rt = nics_[server];
+    if (!rt.device) {
+      rt.device = std::make_unique<nic::SmartNic>(
+          topo_.smartnics[static_cast<std::size_t>(artifact.smartnic)]);
+      nic::HelperConfig helpers;
+      nf::derive_key_material("lemur-chacha-key", helpers.chacha_key);
+      nf::derive_key_material("lemur-nonce", helpers.chacha_nonce);
+      auto verdict = rt.device->load(artifact.program, helpers);
+      if (!verdict.ok) {
+        error_ = "SmartNIC program rejected: " + verdict.error;
+        return;
+      }
+    }
+    rt.artifacts.push_back(&artifact);
+  }
+}
+
+void Testbed::build_openflow() {
+  if (artifacts_.of_rules.empty()) return;
+  of_switch_ = std::make_unique<openflow::OpenFlowSwitch>(
+      topo_.openflow.value_or(topo::OpenFlowSwitchSpec{}));
+  for (const auto& artifact : artifacts_.of_rules) {
+    for (auto rule : artifact.rules) {
+      std::string install_error;
+      if (!of_switch_->install(std::move(rule), &install_error)) {
+        error_ = "OpenFlow rule rejected: " + install_error;
+        return;
+      }
+    }
+  }
+}
+
+bool Testbed::capture_egress_to(const std::string& path) {
+  auto writer = std::make_unique<net::PcapWriter>(path);
+  if (!writer->ok()) return false;
+  egress_capture_ = std::move(writer);
+  return true;
+}
+
+void Testbed::deliver(net::Packet&& pkt, std::uint64_t ready_ns) {
+  if (egress_hook_) egress_hook_(pkt);
+  if (egress_capture_) egress_capture_->write(pkt, ready_ns);
+  const std::size_t chain = pkt.aggregate_id >= 1 &&
+                                    pkt.aggregate_id <= chains_.size()
+                                ? pkt.aggregate_id - 1
+                                : 0;
+  delivered_bytes_[chain] += pkt.size();
+  delivered_packets_[chain] += 1;
+  latency_sum_ns_[chain] +=
+      ready_ns > pkt.arrival_ns ? ready_ns - pkt.arrival_ns : 0;
+}
+
+void Testbed::to_server(net::Packet&& pkt, int server,
+                        std::uint64_t ready_ns) {
+  // In-line SmartNIC first.
+  auto nic_it = nics_.find(server);
+  if (nic_it != nics_.end()) {
+    auto layers = net::ParsedLayers::parse(pkt);
+    if (layers && layers->nsh) {
+      for (const auto* artifact : nic_it->second.artifacts) {
+        if (artifact->spi_in != layers->nsh->spi ||
+            artifact->si_in != layers->nsh->si) {
+          continue;
+        }
+        auto& rt = nic_it->second;
+        // Engine occupancy: serialized packet processing.
+        const auto& spec = rt.device->spec();
+        const auto& server_spec =
+            topo_.servers[static_cast<std::size_t>(server)];
+        const auto& node = chains_[static_cast<std::size_t>(artifact->chain)]
+                               .graph.node(artifact->node);
+        const auto cost_cycles =
+            nf::effective_cycle_cost(node.type, node.config);
+        const auto cost_ns = static_cast<std::uint64_t>(
+            static_cast<double>(cost_cycles) /
+            (server_spec.clock_ghz * spec.speedup_vs_core));
+        const std::uint64_t start = std::max(ready_ns, rt.engine_free_ns);
+        if (start - ready_ns > 1'000'000) {  // >1ms backlog: overload.
+          ++dropped_;
+          return;
+        }
+        rt.engine_free_ns = start + cost_ns;
+        rt.device->process(pkt, cost_cycles);
+        if (pkt.drop) {
+          ++dropped_;
+          return;
+        }
+        net::set_nsh(pkt, artifact->spi_out, artifact->si_out);
+        const std::uint64_t done = rt.engine_free_ns;
+        const auto ep =
+            endpoints_.find(endpoint_key(artifact->spi_out,
+                                         artifact->si_out));
+        if (ep != endpoints_.end() &&
+            ep->second.target == placer::Target::kServer &&
+            ep->second.server == server) {
+          servers_[static_cast<std::size_t>(server)].source->push(
+              std::move(pkt), done);
+        } else {
+          to_switch_.emplace_back(
+              done + static_cast<std::uint64_t>(
+                         topo_.bounce_latency_us * 1000),
+              std::move(pkt));
+        }
+        return;
+      }
+    }
+  }
+  servers_[static_cast<std::size_t>(server)].source->push(std::move(pkt),
+                                                          ready_ns);
+}
+
+void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
+  if (!of_switch_) {
+    ++dropped_;
+    return;
+  }
+  auto layers = net::ParsedLayers::parse(pkt);
+  if (!layers || !layers->nsh) {
+    ++dropped_;
+    return;
+  }
+  const metacompiler::OfArtifact* artifact = nullptr;
+  for (const auto& a : artifacts_.of_rules) {
+    if (a.spi_in == layers->nsh->spi && a.si_in == layers->nsh->si) {
+      artifact = &a;
+    }
+  }
+  if (artifact == nullptr) {
+    ++dropped_;
+    return;
+  }
+  // NSH -> VLAN at the OF boundary (the OF ASIC has no NSH support).
+  net::pop_nsh(pkt);
+  net::push_vlan(pkt, artifact->vid_in);
+  const auto result = of_switch_->process(pkt);
+  if (result.dropped) {
+    ++dropped_;
+    return;
+  }
+  net::pop_vlan(pkt);
+  net::push_nsh(pkt, artifact->spi_out, artifact->si_out);
+  to_switch_.emplace_back(
+      ready_ns + 2 * static_cast<std::uint64_t>(
+                         topo_.bounce_latency_us * 1000),
+      std::move(pkt));
+}
+
+void Testbed::route_from_switch(net::Packet&& pkt,
+                                std::uint32_t egress_port,
+                                std::uint64_t ready_ns) {
+  metacompiler::PortMap ports;
+  if (egress_port == ports.network_egress) {
+    deliver(std::move(pkt), ready_ns);
+    return;
+  }
+  if (egress_port == ports.of_switch) {
+    through_openflow(std::move(pkt), ready_ns);
+    return;
+  }
+  for (std::size_t s = 0; s < topo_.servers.size(); ++s) {
+    if (egress_port == ports.server(static_cast<int>(s))) {
+      const std::uint64_t bounce =
+          static_cast<std::uint64_t>(topo_.bounce_latency_us * 1000);
+      to_server(std::move(pkt), static_cast<int>(s), ready_ns + bounce);
+      return;
+    }
+  }
+  ++dropped_;  // Unknown port.
+}
+
+Measurement Testbed::run(double duration_ms, double offered_headroom,
+                         const std::vector<double>& offered_gbps) {
+  Measurement out;
+  if (!ok()) return out;
+
+  // Offered load: the LP assignment plus headroom, unless overridden.
+  std::vector<RateShapedSource> sources;
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    ChainTrafficModel model(chains_[c], seed_ + 100 + c, flow_mode_);
+    const double offered =
+        c < offered_gbps.size()
+            ? offered_gbps[c]
+            : std::min(placement_.chains[c].assigned_gbps * offered_headroom,
+                       chains_[c].slo.t_max_gbps);
+    sources.emplace_back(std::move(model), offered);
+  }
+
+  const std::uint64_t duration_ns =
+      static_cast<std::uint64_t>(duration_ms * 1e6);
+  constexpr std::uint64_t kQuantumNs = 100'000;  // 100 us.
+  std::uint64_t now = 0;
+  // Two extra drain quanta flush in-flight packets after injection stops.
+  const std::uint64_t drain_until = duration_ns + 20 * kQuantumNs;
+
+  while (now < drain_until) {
+    const std::uint64_t quantum_end = now + kQuantumNs;
+    // 1. Inject fresh traffic (within the measurement window only).
+    if (now < duration_ns) {
+      for (auto& src : sources) {
+        for (auto& pkt : src.emit_until(quantum_end)) {
+          const std::uint64_t t = pkt.arrival_ns;
+          ++out.offered_packets;
+          to_switch_.emplace_back(t, std::move(pkt));
+        }
+      }
+    }
+    // 2. ToR processing for everything that has arrived.
+    std::deque<std::pair<std::uint64_t, net::Packet>> later;
+    while (!to_switch_.empty()) {
+      auto [ready, pkt] = std::move(to_switch_.front());
+      to_switch_.pop_front();
+      if (ready > quantum_end) {
+        later.emplace_back(ready, std::move(pkt));
+        continue;
+      }
+      const auto result = tor_->process(pkt);
+      if (result.dropped) {
+        ++dropped_;
+        continue;
+      }
+      route_from_switch(std::move(pkt), result.egress_port, ready);
+    }
+    to_switch_ = std::move(later);
+    // 3. Server dataplanes advance to the quantum boundary.
+    for (auto& rt : servers_) {
+      if (rt.dataplane) rt.dataplane->run_until_ns(quantum_end);
+    }
+    // 4. Server egress returns to the ToR after a bounce.
+    const std::uint64_t bounce =
+        static_cast<std::uint64_t>(topo_.bounce_latency_us * 1000);
+    for (auto& rt : servers_) {
+      if (!rt.sink) continue;
+      for (auto& [t, pkt] : rt.sink->drain()) {
+        to_switch_.emplace_back(t + bounce, std::move(pkt));
+      }
+    }
+    now = quantum_end;
+  }
+
+  out.chain_gbps.resize(chains_.size());
+  out.chain_latency_us.resize(chains_.size());
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    // bits / ns == Gbps.
+    out.chain_gbps[c] = static_cast<double>(delivered_bytes_[c]) * 8.0 /
+                        (duration_ms * 1e6);
+    out.aggregate_gbps += out.chain_gbps[c];
+    out.chain_latency_us[c] =
+        delivered_packets_[c] > 0
+            ? static_cast<double>(latency_sum_ns_[c]) /
+                  static_cast<double>(delivered_packets_[c]) / 1000.0
+            : 0;
+    out.delivered_packets += delivered_packets_[c];
+  }
+  out.dropped_packets = dropped_;
+  for (const auto& rt : servers_) {
+    if (rt.source) out.dropped_packets += rt.source->drops();
+  }
+  return out;
+}
+
+}  // namespace lemur::runtime

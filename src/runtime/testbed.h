@@ -1,0 +1,142 @@
+// The deployment engine: instantiates the metacompiler's artifacts onto
+// the simulated rack (PISA ToR + BESS servers + SmartNICs + OpenFlow
+// switch), injects rate-shaped chain traffic, and measures delivered
+// throughput and latency — the "execute the NF chain configuration on
+// the testbed" step of the paper's methodology (section 5.1).
+//
+// Packet transport model: all traffic transits the ToR. The switch
+// pipeline (the real compiled P4 program) routes packets to server/OF
+// ports or to network egress; servers run their BESS pipelines under
+// per-core cycle accounting; each switch<->server hand-off costs the
+// topology's bounce latency. SmartNICs sit in-line in front of their
+// server and process NSH-tagged segments assigned to them.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "src/bess/dataplane.h"
+#include "src/bess/nsh_modules.h"
+#include "src/net/pcap.h"
+#include "src/metacompiler/metacompiler.h"
+#include "src/nic/smartnic.h"
+#include "src/openflow/of_switch.h"
+#include "src/pisa/switch_sim.h"
+#include "src/runtime/traffic.h"
+
+namespace lemur::runtime {
+
+struct Measurement {
+  std::vector<double> chain_gbps;     ///< Delivered rate per chain.
+  std::vector<double> chain_latency_us;  ///< Mean end-to-end latency.
+  double aggregate_gbps = 0;
+  std::uint64_t offered_packets = 0;  ///< Injected during the window.
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t dropped_packets = 0;
+
+  /// Packets neither delivered nor counted as fabric drops: still queued
+  /// at the end of the drain window, or consumed inside NF modules
+  /// (ACL/Limiter/UrlFilter verdicts). Conservation: offered ==
+  /// delivered + dropped + unaccounted().
+  [[nodiscard]] std::uint64_t unaccounted() const {
+    return offered_packets - delivered_packets - dropped_packets;
+  }
+};
+
+class Testbed {
+ public:
+  /// Offered load defaults to each chain's LP-assigned rate plus 5%
+  /// headroom — enough to reveal when actual capacity beats the Placer's
+  /// conservative prediction, as in the paper's section 5.2.
+  Testbed(const std::vector<chain::ChainSpec>& chains,
+          const placer::PlacementResult& placement,
+          const metacompiler::CompiledArtifacts& artifacts,
+          const topo::Topology& topo, std::uint64_t seed = 7,
+          FlowMode flow_mode = FlowMode::kLongLived);
+  ~Testbed();
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Runs the measurement for `duration_ms` of virtual time.
+  /// `offered_gbps` overrides the per-chain offered load; empty uses each
+  /// chain's LP-assigned rate times `offered_headroom`.
+  Measurement run(double duration_ms, double offered_headroom = 1.05,
+                  const std::vector<double>& offered_gbps = {});
+
+  [[nodiscard]] const pisa::PisaSwitch& tor() const { return *tor_; }
+
+  /// Observation hook invoked for every packet delivered at network
+  /// egress (tests use it to verify end-to-end packet transformations).
+  void set_egress_hook(std::function<void(const net::Packet&)> hook) {
+    egress_hook_ = std::move(hook);
+  }
+
+  /// Captures every egress packet to a pcap file (openable in Wireshark).
+  /// Returns false if the file cannot be created.
+  bool capture_egress_to(const std::string& path);
+
+ private:
+  struct Endpoint {
+    placer::Target target = placer::Target::kServer;
+    int server = 0;
+  };
+
+  class WireSource;
+  class ReturnSink;
+
+  struct ServerRt {
+    std::unique_ptr<bess::ServerDataplane> dataplane;
+    std::unique_ptr<WireSource> source;
+    std::unique_ptr<ReturnSink> sink;
+  };
+
+  struct NicRt {
+    std::unique_ptr<nic::SmartNic> device;
+    std::vector<const metacompiler::NicArtifact*> artifacts;
+    std::uint64_t engine_free_ns = 0;
+  };
+
+  static std::uint64_t endpoint_key(std::uint32_t spi, std::uint8_t si) {
+    return (static_cast<std::uint64_t>(spi) << 8) | si;
+  }
+
+  void build_endpoints();
+  void build_tor();
+  void build_servers(std::uint64_t seed);
+  void build_nics();
+  void build_openflow();
+
+  void route_from_switch(net::Packet&& pkt, std::uint32_t egress_port,
+                         std::uint64_t ready_ns);
+  void deliver(net::Packet&& pkt, std::uint64_t ready_ns);
+  void to_server(net::Packet&& pkt, int server, std::uint64_t ready_ns);
+  void through_openflow(net::Packet&& pkt, std::uint64_t ready_ns);
+
+  const std::vector<chain::ChainSpec>& chains_;
+  const placer::PlacementResult& placement_;
+  const metacompiler::CompiledArtifacts& artifacts_;
+  const topo::Topology& topo_;
+  FlowMode flow_mode_;
+  std::uint64_t seed_;
+  std::string error_;
+
+  std::map<std::uint64_t, Endpoint> endpoints_;
+  std::unique_ptr<pisa::PisaSwitch> tor_;
+  std::vector<ServerRt> servers_;
+  std::map<int, NicRt> nics_;  ///< Keyed by attached server.
+  std::unique_ptr<openflow::OpenFlowSwitch> of_switch_;
+
+  std::deque<std::pair<std::uint64_t, net::Packet>> to_switch_;
+  std::function<void(const net::Packet&)> egress_hook_;
+  std::unique_ptr<net::PcapWriter> egress_capture_;
+
+  // Measurement accumulators.
+  std::vector<std::uint64_t> delivered_bytes_;
+  std::vector<std::uint64_t> latency_sum_ns_;
+  std::vector<std::uint64_t> delivered_packets_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace lemur::runtime

@@ -1,0 +1,148 @@
+#include "src/runtime/traffic.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/metacompiler/p4_compose.h"
+
+namespace lemur::runtime {
+namespace {
+
+// Default field values chosen to dodge every branch-condition value used
+// by the canonical chains, so "bypass" paths stay on the bypass.
+constexpr std::uint16_t kDefaultDstPort = 9999;
+constexpr std::uint16_t kDefaultSrcPortBase = 20000;
+
+}  // namespace
+
+ChainTrafficModel::ChainTrafficModel(const chain::ChainSpec& spec,
+                                     std::uint64_t seed, FlowMode mode,
+                                     std::size_t frame_bytes)
+    : aggregate_id_(spec.aggregate_id),
+      frame_bytes_(frame_bytes),
+      mode_(mode),
+      rng_(seed) {
+  // One template per linear path: fields satisfying that path's
+  // conditions (edges taken) and avoiding conditions of edges not taken.
+  double cumulative = 0;
+  for (const auto& path : spec.graph.linear_paths()) {
+    PathTemplate t;
+    cumulative += path.fraction;
+    t.cumulative = cumulative;
+    std::set<int> on_path(path.nodes.begin(), path.nodes.end());
+    for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      // Find the edge taken from nodes[i] to nodes[i+1].
+      for (const auto& e : spec.graph.edges()) {
+        if (e.from != path.nodes[i] || e.to != path.nodes[i + 1]) continue;
+        if (!e.condition) continue;
+        const auto& cond = *e.condition;
+        if (cond.field == "dst_port") {
+          t.dst_port = static_cast<std::uint16_t>(cond.value);
+        } else if (cond.field == "src_port") {
+          t.src_port = static_cast<std::uint16_t>(cond.value);
+        } else if (cond.field == "dscp") {
+          t.dscp = static_cast<std::uint8_t>(cond.value);
+        } else if (cond.field == "vlan_tag") {
+          t.vlan = static_cast<std::uint16_t>(cond.value);
+        }
+      }
+    }
+    paths_.push_back(t);
+  }
+  if (paths_.empty()) {
+    paths_.push_back(PathTemplate{1.0, {}, {}, {}, {}});
+  }
+
+  // Long-lived mode: pre-draw a pool of 40 flows (paper: 30-50).
+  std::uniform_int_distribution<std::uint32_t> host(1, 0xfffe);
+  for (int i = 0; i < 40; ++i) {
+    net::FiveTuple flow;
+    flow.src_ip.value =
+        metacompiler::aggregate_prefix_value(aggregate_id_) | host(rng_);
+    flow.dst_ip.value = 0x0a640000u | host(rng_);  // 10.100/16 service net.
+    flow.src_port = static_cast<std::uint16_t>(kDefaultSrcPortBase + i);
+    flow.proto = static_cast<std::uint8_t>(net::IpProto::kUdp);
+    long_lived_flows_.push_back(flow);
+  }
+}
+
+const ChainTrafficModel::PathTemplate& ChainTrafficModel::sample_path() {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double u = uniform(rng_) *
+                   (paths_.empty() ? 1.0 : paths_.back().cumulative);
+  for (const auto& p : paths_) {
+    if (u <= p.cumulative) return p;
+  }
+  return paths_.back();
+}
+
+net::Packet ChainTrafficModel::make_packet(std::uint64_t now_ns) {
+  const PathTemplate& path = sample_path();
+  ++packet_counter_;
+
+  net::FiveTuple flow;
+  if (mode_ == FlowMode::kLongLived) {
+    flow = long_lived_flows_[packet_counter_ % long_lived_flows_.size()];
+  } else {
+    // High churn: a new flow every few packets.
+    std::uniform_int_distribution<std::uint32_t> host(1, 0xfffe);
+    flow.src_ip.value =
+        metacompiler::aggregate_prefix_value(aggregate_id_) | host(rng_);
+    flow.dst_ip.value = 0x0a640000u | host(rng_);
+    flow.src_port = static_cast<std::uint16_t>(1024 + packet_counter_ % 50000);
+    flow.proto = static_cast<std::uint8_t>(net::IpProto::kUdp);
+  }
+  flow.dst_port = path.dst_port.value_or(kDefaultDstPort);
+  if (path.src_port) flow.src_port = *path.src_port;
+
+  net::PacketBuilder builder;
+  builder.five_tuple(flow)
+      .aggregate_id(aggregate_id_)
+      .arrival_ns(now_ns)
+      .frame_size(frame_bytes_);
+  // Incompressible pseudo-random payload: worst case for Dedup, exactly
+  // like the paper's profiling traffic.
+  std::vector<std::uint8_t> payload(
+      frame_bytes_ > 200 ? frame_bytes_ - 64 : 64);
+  std::uint64_t state = packet_counter_ * 0x9e3779b97f4a7c15ull + 1;
+  for (auto& b : payload) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    b = static_cast<std::uint8_t>(state);
+  }
+  builder.payload(payload);
+  net::Packet pkt = builder.build();
+  if (path.vlan) net::push_vlan(pkt, *path.vlan);
+  if (path.dscp) {
+    auto layers = net::ParsedLayers::parse(pkt);
+    if (layers && layers->ipv4) {
+      net::Ipv4Header ip = *layers->ipv4;
+      ip.dscp = *path.dscp;
+      net::patch_ipv4(pkt, *layers, ip);
+    }
+  }
+  return pkt;
+}
+
+RateShapedSource::RateShapedSource(ChainTrafficModel model, double gbps)
+    : model_(std::move(model)), gbps_(gbps) {}
+
+std::vector<net::Packet> RateShapedSource::emit_until(std::uint64_t now_ns,
+                                                      std::size_t max) {
+  std::vector<net::Packet> out;
+  if (now_ns <= last_ns_) return out;
+  credit_bytes_ +=
+      gbps_ * 1e9 / 8.0 * static_cast<double>(now_ns - last_ns_) * 1e-9;
+  last_ns_ = now_ns;
+  const double frame = static_cast<double>(model_.frame_bytes());
+  while (credit_bytes_ >= frame && out.size() < max) {
+    credit_bytes_ -= frame;
+    out.push_back(model_.make_packet(now_ns));
+  }
+  // Cap the backlog so a long idle gap cannot burst unboundedly later.
+  credit_bytes_ = std::min(credit_bytes_, 64.0 * frame);
+  return out;
+}
+
+}  // namespace lemur::runtime

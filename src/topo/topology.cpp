@@ -1,0 +1,63 @@
+#include "src/topo/topology.h"
+
+namespace lemur::topo {
+
+const char* to_string(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kPisa:
+      return "P4";
+    case PlatformKind::kServer:
+      return "BESS";
+    case PlatformKind::kSmartNic:
+      return "SmartNIC";
+    case PlatformKind::kOpenFlow:
+      return "OpenFlow";
+  }
+  return "?";
+}
+
+double ServerSpec::pps_per_core(double cycles_per_packet) const {
+  if (cycles_per_packet <= 0) return 0;
+  return clock_ghz * 1e9 / cycles_per_packet;
+}
+
+int Topology::total_cores() const {
+  int total = 0;
+  for (const auto& s : servers) total += s.total_cores();
+  return total;
+}
+
+Topology Topology::lemur_testbed() {
+  Topology t;
+  t.tor = PisaSwitchSpec{};
+  t.servers = {ServerSpec{}};
+  return t;
+}
+
+Topology Topology::lemur_testbed_with_smartnic() {
+  Topology t = lemur_testbed();
+  t.smartnics.push_back(SmartNicSpec{});
+  return t;
+}
+
+Topology Topology::lemur_testbed_with_openflow() {
+  Topology t = lemur_testbed();
+  t.openflow = OpenFlowSwitchSpec{};
+  return t;
+}
+
+Topology Topology::multi_server(int n, int cores_per_server) {
+  Topology t;
+  t.tor = PisaSwitchSpec{};
+  t.servers.clear();
+  for (int i = 0; i < n; ++i) {
+    ServerSpec s;
+    s.name = "server" + std::to_string(i);
+    s.sockets = 1;
+    s.cores_per_socket = cores_per_server;
+    t.servers.push_back(s);
+  }
+  return t;
+}
+
+}  // namespace lemur::topo

@@ -1,0 +1,288 @@
+// Tests for the chain spec language: lexer, parser, NF-graph invariants,
+// branch decomposition, SLOs, and the canonical Table 2 chains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/chain/canonical.h"
+#include "src/chain/lexer.h"
+#include "src/chain/parser.h"
+#include "src/chain/slo.h"
+
+namespace lemur::chain {
+namespace {
+
+using nf::NfType;
+
+// --- Lexer ------------------------------------------------------------------
+
+TEST(Lexer, TokenizesArrowChain) {
+  auto r = lex("ACL -> Encryption -> Forward");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.tokens.size(), 6u);  // 3 idents + 2 arrows + end.
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(r.tokens[1].kind, TokenKind::kArrow);
+}
+
+TEST(Lexer, TokenizesHexAndFloat) {
+  auto r = lex("0x1f 0.25 42");
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.tokens[0].number, 31.0);
+  EXPECT_DOUBLE_EQ(r.tokens[1].number, 0.25);
+  EXPECT_DOUBLE_EQ(r.tokens[2].number, 42.0);
+}
+
+TEST(Lexer, TokenizesStringsAndComments) {
+  auto r = lex("'10.0.0.0/8' # trailing comment\n\"double\"");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(r.tokens[0].text, "10.0.0.0/8");
+  EXPECT_EQ(r.tokens[1].kind, TokenKind::kSemicolon);  // Newline.
+  EXPECT_EQ(r.tokens[2].text, "double");
+}
+
+TEST(Lexer, ReportsErrorsWithPosition) {
+  auto r = lex("ACL @ Forward");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(lex("'unterminated").ok);
+}
+
+// --- Parser -----------------------------------------------------------------
+
+TEST(Parser, LinearChainFromPaperSection2) {
+  auto r = parse_chain("ACL -> Encryption -> Forward");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.graph.nodes().size(), 3u);
+  EXPECT_EQ(r.graph.node(0).type, NfType::kAcl);
+  EXPECT_EQ(r.graph.node(1).type, NfType::kEncrypt);
+  EXPECT_EQ(r.graph.node(2).type, NfType::kIpv4Fwd);
+  EXPECT_EQ(r.graph.edges().size(), 2u);
+}
+
+TEST(Parser, NfArgumentsBecomeConfig) {
+  auto r = parse_chain(
+      "ACL(rules=[{'dst_ip':'10.0.0.0/8','drop': False}]) -> Forward");
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto& acl = r.graph.node(0);
+  ASSERT_EQ(acl.config.rules.size(), 1u);
+  EXPECT_EQ(acl.config.rules[0].at("dst_ip"), "10.0.0.0/8");
+  EXPECT_EQ(acl.config.rules[0].at("drop"), "False");
+}
+
+TEST(Parser, IntAndStringArguments) {
+  auto r = parse_chain("NAT(entries=12000, external_ip='100.64.0.1')");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.graph.node(0).config.int_or("entries", 0), 12000);
+  EXPECT_EQ(r.graph.node(0).config.string_or("external_ip", ""),
+            "100.64.0.1");
+}
+
+TEST(Parser, BranchWithImplicitBypass) {
+  // Paper section 2: encrypt only vlan 0x1 traffic.
+  auto r = parse_chain("ACL -> [{'vlan_tag': 0x1, Encryption}] -> Forward");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.graph.nodes().size(), 3u);
+  const int acl = 0, enc = 1, fwd = 2;
+  // ACL has two out-edges: conditioned to Encrypt, bypass to Forward.
+  auto out = r.graph.out_edges(acl);
+  ASSERT_EQ(out.size(), 2u);
+  double total = 0;
+  bool saw_conditioned = false;
+  for (const auto* e : out) {
+    total += e->traffic_fraction;
+    if (e->condition) {
+      saw_conditioned = true;
+      EXPECT_EQ(e->to, enc);
+      EXPECT_EQ(e->condition->field, "vlan_tag");
+      EXPECT_EQ(e->condition->value, 1u);
+    } else {
+      EXPECT_EQ(e->to, fwd);
+    }
+  }
+  EXPECT_TRUE(saw_conditioned);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_TRUE(r.graph.is_branch_or_merge(acl));
+  EXPECT_TRUE(r.graph.is_branch_or_merge(fwd));
+}
+
+TEST(Parser, BranchFractionsHonored) {
+  auto r = parse_chain(
+      "LB -> [{'dst_port': 80, 'frac': 0.7, NAT}, "
+      "{'dst_port': 443, 'frac': 0.3, NAT}] -> IPv4Fwd");
+  ASSERT_TRUE(r.ok) << r.error;
+  auto out = r.graph.out_edges(0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0]->traffic_fraction + out[1]->traffic_fraction, 1.0,
+              1e-9);
+  EXPECT_NEAR(std::max(out[0]->traffic_fraction, out[1]->traffic_fraction),
+              0.7, 1e-9);
+}
+
+TEST(Parser, InstanceAssignmentAndMergeByReference) {
+  const char* source =
+      "fwd = IPv4Fwd(rules=[{'prefix':'10.0.0.0/8','port':'1'}])\n"
+      "ACL -> [{'dst_port': 80, Encrypt -> fwd}, {Decrypt -> fwd}]";
+  auto r = parse_chain(source);
+  ASSERT_TRUE(r.ok) << r.error;
+  const int fwd = r.graph.find_instance("fwd");
+  ASSERT_GE(fwd, 0);
+  EXPECT_EQ(r.graph.predecessors(fwd).size(), 2u);  // Merge node.
+  EXPECT_EQ(r.graph.node(fwd).config.rules.size(), 1u);
+}
+
+TEST(Parser, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parse_chain("").ok);
+  EXPECT_FALSE(parse_chain("NotAnNf -> ACL").ok);
+  EXPECT_FALSE(parse_chain("ACL ->").ok);
+  EXPECT_FALSE(parse_chain("ACL -> [{'p': 1, }] -> Forward").ok);
+  EXPECT_FALSE(parse_chain("x = ACL\nx = ACL").ok);          // Redeclared.
+  EXPECT_FALSE(parse_chain("ACL = NAT").ok);                 // Shadows type.
+  EXPECT_FALSE(parse_chain("ACL -> ACL(x=1)\nNAT -> LB").ok);  // 2 chains.
+}
+
+TEST(Parser, RejectsNestedBranches) {
+  auto r = parse_chain(
+      "ACL -> [{'dst_port': 1, NAT -> [{'dst_port': 2, LB}] }] -> Forward");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Parser, AutoInstanceNamesAreUnique) {
+  auto r = parse_chain("ACL -> ACL -> ACL");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.graph.node(0).instance_name, "ACL_0");
+  EXPECT_EQ(r.graph.node(2).instance_name, "ACL_2");
+}
+
+// --- NfGraph invariants --------------------------------------------------------
+
+TEST(Graph, ValidateCatchesCycle) {
+  NfGraph g;
+  const int a = g.add_node(NfType::kAcl, "a");
+  const int b = g.add_node(NfType::kNat, "b");
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  auto error = g.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("entry"), std::string::npos);  // No source.
+}
+
+TEST(Graph, ValidateCatchesBadFractions) {
+  NfGraph g;
+  const int a = g.add_node(NfType::kAcl, "a");
+  const int b = g.add_node(NfType::kNat, "b");
+  const int c = g.add_node(NfType::kLb, "c");
+  g.add_edge(a, b, 0.5);
+  g.add_edge(a, c, 0.2);  // Sums to 0.7.
+  auto error = g.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("fraction"), std::string::npos);
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  auto g = canonical_chain(4);
+  auto order = g.topological_order();
+  ASSERT_EQ(order.size(), g.nodes().size());
+  std::vector<int> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const auto& e : g.edges()) {
+    EXPECT_LT(position[static_cast<std::size_t>(e.from)],
+              position[static_cast<std::size_t>(e.to)]);
+  }
+}
+
+TEST(Graph, LinearPathFractionsSumToOne) {
+  for (int n = 1; n <= 5; ++n) {
+    auto g = canonical_chain(n);
+    auto paths = g.linear_paths();
+    ASSERT_FALSE(paths.empty()) << "chain " << n;
+    double total = 0;
+    for (const auto& p : paths) total += p.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-9) << "chain " << n;
+  }
+}
+
+// --- SLO --------------------------------------------------------------------
+
+TEST(SloModel, Table1UseCases) {
+  EXPECT_EQ(Slo::bulk().t_min_gbps, 0);
+  EXPECT_EQ(Slo::bulk().t_max_gbps, Slo::kUnbounded);
+  EXPECT_EQ(Slo::metered_bulk(5).t_max_gbps, 5);
+  EXPECT_EQ(Slo::virtual_pipe(3).t_min_gbps, 3);
+  EXPECT_EQ(Slo::virtual_pipe(3).t_max_gbps, 3);
+  EXPECT_EQ(Slo::elastic_pipe(2, 8).t_min_gbps, 2);
+  EXPECT_EQ(Slo::elastic_pipe(2, 8).t_max_gbps, 8);
+  EXPECT_EQ(Slo::infinite_pipe(4).t_max_gbps, Slo::kUnbounded);
+  EXPECT_FALSE(Slo::bulk().has_latency_bound());
+  EXPECT_TRUE(Slo::bulk().with_latency(45).has_latency_bound());
+}
+
+// --- Canonical chains -----------------------------------------------------------
+
+TEST(Canonical, AllFiveChainsValidate) {
+  for (int n = 1; n <= 5; ++n) {
+    auto g = canonical_chain(n);
+    auto error = g.validate();
+    EXPECT_FALSE(error.has_value()) << "chain " << n << ": " << *error;
+  }
+}
+
+TEST(Canonical, Chain2Structure) {
+  auto g = canonical_chain(2);
+  // Encrypt, LB, 3x NAT, IPv4Fwd = 6 nodes.
+  EXPECT_EQ(g.nodes().size(), 6u);
+  int nats = 0;
+  for (const auto& node : g.nodes()) {
+    if (node.type == NfType::kNat) ++nats;
+  }
+  EXPECT_EQ(nats, 3);
+  // LB branches 3 ways; IPv4Fwd merges 3 ways.
+  const int lb = g.find_instance("LB_0");
+  ASSERT_GE(lb, 0);
+  EXPECT_EQ(g.successors(lb).size(), 3u);
+  EXPECT_EQ(g.linear_paths().size(), 3u);
+}
+
+TEST(Canonical, Chain3IsLinear) {
+  auto g = canonical_chain(3);
+  EXPECT_EQ(g.nodes().size(), 5u);
+  EXPECT_EQ(g.linear_paths().size(), 1u);
+  EXPECT_EQ(g.node(0).type, NfType::kDedup);
+  EXPECT_EQ(g.node(4).type, NfType::kIpv4Fwd);
+}
+
+TEST(Canonical, Chain1MergesIntoSharedSubchain8) {
+  auto g = canonical_chain(1);
+  int detunnels = 0;
+  for (const auto& node : g.nodes()) {
+    if (node.type == NfType::kDetunnel) ++detunnels;
+  }
+  EXPECT_EQ(detunnels, 1);  // One shared Subchain 8 instance.
+  EXPECT_EQ(g.nodes().size(), 8u);
+  EXPECT_EQ(g.linear_paths().size(), 3u);
+  // The Detunnel head of Subchain 8 is a 3-way merge.
+  const int det = g.find_instance("detunnel_shared");
+  ASSERT_GE(det, 0);
+  EXPECT_EQ(g.predecessors(det).size(), 3u);
+}
+
+TEST(Canonical, Chain4Has34NfInstancesWithChains123) {
+  // The paper's 4-chain experiment covers 34 NF instances in total.
+  std::size_t total = 0;
+  for (int n = 1; n <= 4; ++n) total += canonical_chain(n).nodes().size();
+  EXPECT_EQ(total, 34u);
+}
+
+TEST(Canonical, SpecsCarryDefaults) {
+  auto specs = canonical_chains({1, 2, 3});
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "Chain 1");
+  EXPECT_EQ(specs[0].aggregate_id, 1u);
+  EXPECT_EQ(specs[2].aggregate_id, 3u);
+  EXPECT_DOUBLE_EQ(specs[1].slo.t_max_gbps, 100.0);
+}
+
+}  // namespace
+}  // namespace lemur::chain

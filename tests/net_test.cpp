@@ -1,0 +1,425 @@
+// Unit tests for the packet/header substrate.
+#include <gtest/gtest.h>
+
+#include "src/net/batch.h"
+#include "src/net/bytes.h"
+#include "src/net/checksum.h"
+#include "src/net/flow.h"
+#include "src/net/headers.h"
+#include "src/net/packet.h"
+#include "src/net/packet_builder.h"
+#include "src/net/pcap.h"
+
+namespace lemur::net {
+namespace {
+
+TEST(Bytes, WriterRoundTripsThroughReader) {
+  std::vector<std::uint8_t> buf;
+  BufWriter w(buf);
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  BufReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderReportsTruncation) {
+  std::vector<std::uint8_t> buf = {0x01, 0x02};
+  BufReader r(buf);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, BigEndianLayout) {
+  std::vector<std::uint8_t> buf;
+  BufWriter w(buf);
+  w.u16(0x0102);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Bytes, ToHex) {
+  std::vector<std::uint8_t> buf = {0x00, 0xff, 0x1a};
+  EXPECT_EQ(to_hex(buf), "00ff1a");
+}
+
+TEST(Addr, MacParseFormatRoundTrip) {
+  auto mac = MacAddr::parse("02:1a:ff:00:9b:7c");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:1a:ff:00:9b:7c");
+}
+
+TEST(Addr, MacParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddr::parse("02:1a:ff:00:9b").has_value());
+  EXPECT_FALSE(MacAddr::parse("02:1a:ff:00:9b:7c:01").has_value());
+  EXPECT_FALSE(MacAddr::parse("0g:00:00:00:00:00").has_value());
+  EXPECT_FALSE(MacAddr::parse("").has_value());
+}
+
+TEST(Addr, Ipv4ParseFormatRoundTrip) {
+  auto ip = Ipv4Addr::parse("10.1.2.3");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->value, 0x0a010203u);
+  EXPECT_EQ(ip->to_string(), "10.1.2.3");
+}
+
+TEST(Addr, Ipv4ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2.256").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+}
+
+TEST(Addr, PrefixContains) {
+  auto p = Ipv4Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(*Ipv4Addr::parse("10.255.0.1")));
+  EXPECT_FALSE(p->contains(*Ipv4Addr::parse("11.0.0.1")));
+  auto all = Ipv4Prefix::parse("0.0.0.0/0");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_TRUE(all->contains(*Ipv4Addr::parse("192.168.1.1")));
+}
+
+TEST(Addr, PrefixParseBareAddressIsSlash32) {
+  auto p = Ipv4Prefix::parse("192.168.1.5");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length, 32);
+  EXPECT_TRUE(p->contains(*Ipv4Addr::parse("192.168.1.5")));
+  EXPECT_FALSE(p->contains(*Ipv4Addr::parse("192.168.1.6")));
+}
+
+TEST(Checksum, KnownVector) {
+  // Classic example from RFC 1071 materials.
+  std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5,
+                                    0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  std::vector<std::uint8_t> even = {0x12, 0x34, 0x56, 0x00};
+  std::vector<std::uint8_t> odd = {0x12, 0x34, 0x56};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Headers, EthernetRoundTrip) {
+  EthernetHeader h;
+  h.dst = *MacAddr::parse("02:00:00:00:00:01");
+  h.src = *MacAddr::parse("02:00:00:00:00:02");
+  h.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  std::vector<std::uint8_t> buf;
+  BufWriter w(buf);
+  h.encode(w);
+  EXPECT_EQ(buf.size(), EthernetHeader::kSize);
+  BufReader r(buf);
+  auto back = EthernetHeader::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->ether_type, h.ether_type);
+}
+
+TEST(Headers, VlanRoundTripAndFieldPacking) {
+  VlanHeader h;
+  h.pcp = 5;
+  h.dei = true;
+  h.vid = 0xabc;
+  h.ether_type = 0x0800;
+  std::vector<std::uint8_t> buf;
+  BufWriter w(buf);
+  h.encode(w);
+  BufReader r(buf);
+  auto back = VlanHeader::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->pcp, 5);
+  EXPECT_TRUE(back->dei);
+  EXPECT_EQ(back->vid, 0xabc);
+  EXPECT_EQ(back->ether_type, 0x0800);
+}
+
+TEST(Headers, Ipv4RoundTripVerifiesChecksum) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.protocol = static_cast<std::uint8_t>(IpProto::kTcp);
+  h.src = *Ipv4Addr::parse("192.168.0.1");
+  h.dst = *Ipv4Addr::parse("10.0.0.1");
+  std::vector<std::uint8_t> buf;
+  BufWriter w(buf);
+  h.encode(w);
+  BufReader r(buf);
+  auto back = Ipv4Header::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->total_length, 40);
+}
+
+TEST(Headers, Ipv4DecodeRejectsCorruptChecksum) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.src = *Ipv4Addr::parse("1.2.3.4");
+  h.dst = *Ipv4Addr::parse("5.6.7.8");
+  std::vector<std::uint8_t> buf;
+  BufWriter w(buf);
+  h.encode(w);
+  buf[8] ^= 0xff;  // Corrupt the TTL after the checksum was computed.
+  BufReader r(buf);
+  EXPECT_FALSE(Ipv4Header::decode(r).has_value());
+}
+
+TEST(Headers, NshRoundTripsSpiSi) {
+  NshHeader h;
+  h.spi = 0xabcdef;
+  h.si = 42;
+  std::vector<std::uint8_t> buf;
+  BufWriter w(buf);
+  h.encode(w);
+  EXPECT_EQ(buf.size(), NshHeader::kSize);
+  BufReader r(buf);
+  auto back = NshHeader::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->spi, 0xabcdefu);
+  EXPECT_EQ(back->si, 42);
+}
+
+TEST(Headers, TcpRoundTrip) {
+  TcpHeader h;
+  h.src_port = 443;
+  h.dst_port = 51234;
+  h.seq = 0x11223344;
+  h.ack = 0x55667788;
+  h.flags = 0x12;
+  std::vector<std::uint8_t> buf;
+  BufWriter w(buf);
+  h.encode(w);
+  BufReader r(buf);
+  auto back = TcpHeader::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->src_port, 443);
+  EXPECT_EQ(back->dst_port, 51234);
+  EXPECT_EQ(back->seq, 0x11223344u);
+  EXPECT_EQ(back->flags, 0x12);
+}
+
+TEST(Builder, BuildsParseableUdpPacket) {
+  Packet pkt = PacketBuilder()
+                   .src_ip(*Ipv4Addr::parse("10.0.0.1"))
+                   .dst_ip(*Ipv4Addr::parse("10.0.0.2"))
+                   .src_port(1111)
+                   .dst_port(2222)
+                   .frame_size(200)
+                   .build();
+  EXPECT_EQ(pkt.size(), 200u);
+  auto layers = ParsedLayers::parse(pkt);
+  ASSERT_TRUE(layers.has_value());
+  ASSERT_TRUE(layers->ipv4.has_value());
+  ASSERT_TRUE(layers->udp.has_value());
+  EXPECT_EQ(layers->udp->src_port, 1111);
+  EXPECT_EQ(layers->udp->dst_port, 2222);
+}
+
+TEST(Builder, BuildsParseableTcpPacket) {
+  Packet pkt = PacketBuilder().proto(IpProto::kTcp).frame_size(100).build();
+  auto layers = ParsedLayers::parse(pkt);
+  ASSERT_TRUE(layers.has_value());
+  EXPECT_TRUE(layers->tcp.has_value());
+  EXPECT_FALSE(layers->udp.has_value());
+}
+
+TEST(Packet, PushPopVlanRoundTrip) {
+  Packet pkt = PacketBuilder().frame_size(128).build();
+  const std::size_t before = pkt.size();
+  push_vlan(pkt, 0x123, 3);
+  EXPECT_EQ(pkt.size(), before + VlanHeader::kSize);
+  auto layers = ParsedLayers::parse(pkt);
+  ASSERT_TRUE(layers.has_value());
+  ASSERT_TRUE(layers->vlan.has_value());
+  EXPECT_EQ(layers->vlan->vid, 0x123);
+  EXPECT_TRUE(layers->ipv4.has_value());  // Inner layers still parse.
+  auto tag = pop_vlan(pkt);
+  ASSERT_TRUE(tag.has_value());
+  EXPECT_EQ(tag->vid, 0x123);
+  EXPECT_EQ(pkt.size(), before);
+  auto after = ParsedLayers::parse(pkt);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_FALSE(after->vlan.has_value());
+  EXPECT_TRUE(after->udp.has_value());
+}
+
+TEST(Packet, PushPopNshRoundTrip) {
+  Packet pkt = PacketBuilder().frame_size(128).build();
+  const std::size_t before = pkt.size();
+  push_nsh(pkt, 7, 200);
+  auto layers = ParsedLayers::parse(pkt);
+  ASSERT_TRUE(layers.has_value());
+  ASSERT_TRUE(layers->nsh.has_value());
+  EXPECT_EQ(layers->nsh->spi, 7u);
+  EXPECT_EQ(layers->nsh->si, 200);
+  EXPECT_TRUE(layers->ipv4.has_value());
+  auto nsh = pop_nsh(pkt);
+  ASSERT_TRUE(nsh.has_value());
+  EXPECT_EQ(pkt.size(), before);
+  EXPECT_TRUE(ParsedLayers::parse(pkt)->ipv4.has_value());
+}
+
+TEST(Packet, PushNshIsIdempotent) {
+  Packet pkt = PacketBuilder().frame_size(128).build();
+  push_nsh(pkt, 1, 255);
+  const std::size_t once = pkt.size();
+  push_nsh(pkt, 2, 254);  // Must not double-encapsulate.
+  EXPECT_EQ(pkt.size(), once);
+  auto layers = ParsedLayers::parse(pkt);
+  EXPECT_EQ(layers->nsh->spi, 1u);
+}
+
+TEST(Packet, SetNshRewritesInPlace) {
+  Packet pkt = PacketBuilder().frame_size(128).build();
+  EXPECT_FALSE(set_nsh(pkt, 9, 9));  // No NSH yet.
+  push_nsh(pkt, 1, 255);
+  EXPECT_TRUE(set_nsh(pkt, 9, 99));
+  auto layers = ParsedLayers::parse(pkt);
+  EXPECT_EQ(layers->nsh->spi, 9u);
+  EXPECT_EQ(layers->nsh->si, 99);
+}
+
+TEST(Packet, NshUnderVlan) {
+  Packet pkt = PacketBuilder().frame_size(128).build();
+  push_vlan(pkt, 0x42);
+  push_nsh(pkt, 3, 30);
+  auto layers = ParsedLayers::parse(pkt);
+  ASSERT_TRUE(layers.has_value());
+  ASSERT_TRUE(layers->vlan.has_value());
+  ASSERT_TRUE(layers->nsh.has_value());
+  EXPECT_TRUE(layers->ipv4.has_value());
+  auto nsh = pop_nsh(pkt);
+  ASSERT_TRUE(nsh.has_value());
+  auto after = ParsedLayers::parse(pkt);
+  EXPECT_TRUE(after->vlan.has_value());
+  EXPECT_TRUE(after->ipv4.has_value());
+}
+
+TEST(Packet, PatchIpv4RewritesAddressesWithValidChecksum) {
+  Packet pkt = PacketBuilder().frame_size(128).build();
+  auto layers = ParsedLayers::parse(pkt);
+  Ipv4Header h = *layers->ipv4;
+  h.src = *Ipv4Addr::parse("100.64.0.1");
+  h.dst = *Ipv4Addr::parse("100.64.0.2");
+  patch_ipv4(pkt, *layers, h);
+  auto after = ParsedLayers::parse(pkt);
+  ASSERT_TRUE(after.has_value());
+  ASSERT_TRUE(after->ipv4.has_value());  // Checksum must still verify.
+  EXPECT_EQ(after->ipv4->src.to_string(), "100.64.0.1");
+}
+
+TEST(Packet, PatchL4Ports) {
+  Packet pkt = PacketBuilder().src_port(1).dst_port(2).frame_size(96).build();
+  auto layers = ParsedLayers::parse(pkt);
+  patch_l4_ports(pkt, *layers, 5000, 6000);
+  auto after = ParsedLayers::parse(pkt);
+  EXPECT_EQ(after->udp->src_port, 5000);
+  EXPECT_EQ(after->udp->dst_port, 6000);
+}
+
+TEST(Flow, ExtractAndReverse) {
+  Packet pkt = PacketBuilder()
+                   .src_ip(*Ipv4Addr::parse("1.1.1.1"))
+                   .dst_ip(*Ipv4Addr::parse("2.2.2.2"))
+                   .src_port(10)
+                   .dst_port(20)
+                   .build();
+  auto t = FiveTuple::from(pkt);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->src_ip.to_string(), "1.1.1.1");
+  EXPECT_EQ(t->dst_port, 20);
+  auto rev = t->reversed();
+  EXPECT_EQ(rev.src_port, 20);
+  EXPECT_EQ(rev.dst_ip.to_string(), "1.1.1.1");
+  EXPECT_EQ(rev.reversed(), *t);
+}
+
+TEST(Flow, HashDistinguishesTuples) {
+  FiveTuple a{Ipv4Addr{1}, Ipv4Addr{2}, 3, 4, 5};
+  FiveTuple b = a;
+  b.src_port = 6;
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), FiveTuple(a).hash());
+}
+
+TEST(Batch, CompactDropsRemovesMarkedPackets) {
+  PacketBatch batch;
+  for (int i = 0; i < 5; ++i) {
+    Packet p = PacketBuilder().frame_size(64).build();
+    p.drop = (i % 2 == 0);
+    batch.push(std::move(p));
+  }
+  EXPECT_EQ(batch.compact_drops(), 3u);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(Batch, TotalBytes) {
+  PacketBatch batch;
+  batch.push(PacketBuilder().frame_size(100).build());
+  batch.push(PacketBuilder().frame_size(200).build());
+  EXPECT_EQ(batch.total_bytes(), 300u);
+}
+
+
+TEST(Pcap, WriteReadRoundTrip) {
+  const std::string path = "/tmp/lemur_pcap_test.pcap";
+  {
+    PcapWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    auto a = PacketBuilder().frame_size(100).build();
+    auto b = PacketBuilder().frame_size(1500).dst_port(443).build();
+    net::push_nsh(b, 3, 200);
+    writer.write(a, 1'000'000'000);       // t = 1 s.
+    writer.write(b, 1'000'500'000);       // +500 us.
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  auto records = read_pcap(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].data.size(), 100u);
+  EXPECT_EQ(records[0].timestamp_ns, 1'000'000'000u);
+  EXPECT_EQ(records[1].timestamp_ns, 1'000'500'000u);
+  // The captured bytes reparse, NSH included.
+  Packet replay;
+  replay.data = records[1].data;
+  auto layers = ParsedLayers::parse(replay);
+  ASSERT_TRUE(layers.has_value());
+  ASSERT_TRUE(layers->nsh.has_value());
+  EXPECT_EQ(layers->nsh->spi, 3u);
+}
+
+TEST(Pcap, ReadRejectsGarbage) {
+  const std::string path = "/tmp/lemur_pcap_garbage.pcap";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a pcap file at all", f);
+  std::fclose(f);
+  EXPECT_TRUE(read_pcap(path).empty());
+  EXPECT_TRUE(read_pcap("/nonexistent/x.pcap").empty());
+}
+
+// Property sweep: NSH encap/decap must preserve the inner packet for any
+// frame size.
+class NshRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NshRoundTrip, PreservesInnerBytes) {
+  Packet pkt = PacketBuilder().frame_size(GetParam()).build();
+  const std::vector<std::uint8_t> original = pkt.data;
+  push_nsh(pkt, 11, 22);
+  pop_nsh(pkt);
+  EXPECT_EQ(pkt.data, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameSizes, NshRoundTrip,
+                         ::testing::Values(60, 64, 128, 512, 1024, 1500));
+
+}  // namespace
+}  // namespace lemur::net

@@ -1,0 +1,258 @@
+// Tests for the deepened NF implementations: EndRE-style content-defined
+// chunking in Dedup, the Aho-Corasick matcher behind UrlFilter, and NAT
+// mapping expiry.
+#include <gtest/gtest.h>
+
+#include "src/net/packet_builder.h"
+#include "src/nf/software/payload_nfs.h"
+#include "src/nf/software/stateful_nfs.h"
+
+namespace lemur::nf {
+namespace {
+
+using net::Ipv4Addr;
+using net::PacketBuilder;
+
+net::Packet payload_packet(const std::vector<std::uint8_t>& payload,
+                           std::uint16_t src_port = 1000,
+                           std::uint64_t arrival_ns = 0) {
+  return PacketBuilder()
+      .src_port(src_port)
+      .payload(payload)
+      .arrival_ns(arrival_ns)
+      .build();
+}
+
+std::vector<std::uint8_t> pseudo_random_bytes(std::size_t n,
+                                              std::uint64_t seed) {
+  std::vector<std::uint8_t> out(n);
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+  for (auto& b : out) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    b = static_cast<std::uint8_t>(state);
+  }
+  return out;
+}
+
+// --- Content-defined chunking -------------------------------------------------
+
+NfConfig content_config() {
+  NfConfig config;
+  config.strings["chunking"] = "content";
+  return config;
+}
+
+TEST(ContentChunking, BoundariesRespectMinMax) {
+  DedupNf dedup(content_config());
+  const auto data = pseudo_random_bytes(2000, 1);
+  const auto ends = dedup.chunk_ends(data);
+  ASSERT_FALSE(ends.empty());
+  std::size_t prev = 0;
+  for (std::size_t end : ends) {
+    const std::size_t len = end - prev;
+    EXPECT_GE(len, 32u);
+    EXPECT_LE(len, 256u);
+    prev = end;
+  }
+}
+
+TEST(ContentChunking, BoundariesAreContentDetermined) {
+  // The same content prefixed by different junk must produce the same
+  // boundaries (relative to content start) once past the first chunk —
+  // the property that makes shifted duplicates dedup, and the reason
+  // EndRE uses Rabin chunking instead of fixed offsets.
+  DedupNf dedup(content_config());
+  const auto body = pseudo_random_bytes(1500, 7);
+
+  std::vector<std::uint8_t> a = pseudo_random_bytes(11, 21);
+  a.insert(a.end(), body.begin(), body.end());
+  std::vector<std::uint8_t> b = pseudo_random_bytes(53, 22);
+  b.insert(b.end(), body.begin(), body.end());
+
+  auto ends_a = dedup.chunk_ends(a);
+  auto ends_b = dedup.chunk_ends(b);
+  // Normalize to offsets within `body` and drop the prefix-affected head.
+  auto normalize = [&](const std::vector<std::size_t>& ends,
+                       std::size_t prefix) {
+    std::vector<std::size_t> out;
+    for (std::size_t e : ends) {
+      if (e > prefix + 300) out.push_back(e - prefix);
+    }
+    return out;
+  };
+  const auto na = normalize(ends_a, 11);
+  const auto nb = normalize(ends_b, 53);
+  // The tails must share a long common run of boundaries.
+  std::size_t shared = 0;
+  for (std::size_t e : na) {
+    if (std::find(nb.begin(), nb.end(), e) != nb.end()) ++shared;
+  }
+  EXPECT_GE(shared, na.size() / 2) << "boundaries did not resynchronize";
+}
+
+TEST(ContentChunking, ShiftedDuplicateStillDedups) {
+  DedupNf dedup(content_config());
+  const auto body = pseudo_random_bytes(1200, 9);
+
+  auto first = payload_packet(body);
+  dedup.process(first);
+  const auto baseline_dedup = dedup.chunks_deduped();
+
+  // Same body behind a different 40-byte header region.
+  std::vector<std::uint8_t> shifted = pseudo_random_bytes(40, 33);
+  shifted.insert(shifted.end(), body.begin(), body.end());
+  auto second = payload_packet(shifted);
+  const std::size_t before = second.size();
+  dedup.process(second);
+  EXPECT_GT(dedup.chunks_deduped(), baseline_dedup);
+  EXPECT_LT(second.size(), before);  // Shifted content still shrank.
+}
+
+TEST(ContentChunking, FixedChunkerMissesShiftedDuplicates) {
+  // Contrast: fixed-offset chunking finds nothing after a shift —
+  // exactly why EndRE's content chunking matters.
+  NfConfig config;  // Default: fixed.
+  DedupNf dedup(config);
+  const auto body = pseudo_random_bytes(1200, 9);
+  auto first = payload_packet(body);
+  dedup.process(first);
+  std::vector<std::uint8_t> shifted = pseudo_random_bytes(3, 34);
+  shifted.insert(shifted.end(), body.begin(), body.end());
+  auto second = payload_packet(shifted);
+  dedup.process(second);
+  EXPECT_EQ(dedup.chunks_deduped(), 0u);
+}
+
+// --- Aho-Corasick -------------------------------------------------------------
+
+TEST(AhoCorasickMatcher, FindsEveryPattern) {
+  AhoCorasick ac({"evil", "bad.example", "x23"});
+  auto text = [](const char* s) {
+    return std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s), strlen(s));
+  };
+  EXPECT_TRUE(ac.matches(text("GET http://bad.example/a")));
+  EXPECT_TRUE(ac.matches(text("prefix evil suffix")));
+  EXPECT_TRUE(ac.matches(text("xx23")));
+  EXPECT_FALSE(ac.matches(text("benign traffic")));
+  EXPECT_FALSE(ac.matches(text("bad.exampl")));
+  EXPECT_FALSE(ac.matches(text("")));
+}
+
+TEST(AhoCorasickMatcher, OverlappingPatternsViaFailLinks) {
+  // "she" contains "he": the fail-link propagation must catch "he"
+  // even while walking the "she" branch.
+  AhoCorasick ac({"she", "he", "hers"});
+  auto text = [](const char* s) {
+    return std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s), strlen(s));
+  };
+  EXPECT_TRUE(ac.matches(text("ushers")));
+  EXPECT_TRUE(ac.matches(text("xhex")));
+  EXPECT_FALSE(ac.matches(text("hhhsss")));
+}
+
+TEST(AhoCorasickMatcher, ManyPatternsSinglePass) {
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 500; ++i) {
+    patterns.push_back("blocked-" + std::to_string(i) + ".example");
+  }
+  AhoCorasick ac(patterns);
+  EXPECT_GT(ac.num_states(), 500u);
+  std::string hit = "GET blocked-317.example/path";
+  EXPECT_TRUE(ac.matches(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(hit.data()), hit.size())));
+  std::string miss = "GET blocked-501.example/path";  // Not in the list.
+  EXPECT_FALSE(ac.matches(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(miss.data()), miss.size())));
+}
+
+TEST(UrlFilterDepth, UsesTheMatcher) {
+  NfConfig config;
+  for (int i = 0; i < 50; ++i) {
+    config.rules.push_back({{"pattern", "evil" + std::to_string(i) + ".io"}});
+  }
+  UrlFilterNf filter(config);
+  auto bad = PacketBuilder().payload_text("GET evil42.io/x").build();
+  EXPECT_EQ(filter.process(bad), SoftwareNf::kDrop);
+  auto good = PacketBuilder().payload_text("GET good.io/x").build();
+  EXPECT_EQ(filter.process(good), 0);
+}
+
+// --- NAT expiry ------------------------------------------------------------------
+
+TEST(NatExpiry, IdleMappingsEvictedOnExhaustion) {
+  NfConfig config;
+  config.ints["entries"] = 3;
+  config.ints["idle_timeout_ms"] = 10;
+  NatNf nat(config);
+  // Three flows at t=0 fill the pool.
+  for (std::uint16_t p = 1; p <= 3; ++p) {
+    auto pkt = payload_packet({1, 2, 3}, p, 0);
+    EXPECT_EQ(nat.process(pkt), 0);
+  }
+  EXPECT_EQ(nat.active_mappings(), 3u);
+  // A fourth flow 50 ms later: the idle three expire and it fits.
+  auto late = payload_packet({1, 2, 3}, 4, 50'000'000);
+  EXPECT_EQ(nat.process(late), 0);
+  EXPECT_EQ(nat.expired_mappings(), 3u);
+  EXPECT_EQ(nat.active_mappings(), 1u);
+  EXPECT_EQ(nat.exhaustion_drops(), 0u);
+}
+
+TEST(NatExpiry, ActiveMappingsSurvive) {
+  NfConfig config;
+  config.ints["entries"] = 2;
+  config.ints["idle_timeout_ms"] = 10;
+  NatNf nat(config);
+  auto a0 = payload_packet({1}, 1, 0);
+  nat.process(a0);
+  auto b0 = payload_packet({1}, 2, 0);
+  nat.process(b0);
+  // Flow 1 stays active at t=8ms; flow 2 goes idle.
+  auto a1 = payload_packet({1}, 1, 8'000'000);
+  nat.process(a1);
+  // At t=15ms a new flow needs space: only flow 2 may be evicted.
+  auto c = payload_packet({1}, 3, 15'000'000);
+  EXPECT_EQ(nat.process(c), 0);
+  EXPECT_EQ(nat.expired_mappings(), 1u);
+  // Flow 1's mapping is still valid: a reply to its external port works.
+  auto reply = PacketBuilder()
+                   .src_ip(*Ipv4Addr::parse("10.0.0.2"))
+                   .dst_ip(*Ipv4Addr::parse("100.64.0.1"))
+                   .dst_port(10000)  // First allocated port.
+                   .arrival_ns(16'000'000)
+                   .build();
+  EXPECT_EQ(nat.process(reply), 0);
+}
+
+TEST(NatExpiry, ExpiredPortsAreReused) {
+  NfConfig config;
+  config.ints["entries"] = 1;
+  config.ints["idle_timeout_ms"] = 1;
+  config.ints["port_base"] = 30000;
+  NatNf nat(config);
+  auto a = payload_packet({1}, 1, 0);
+  nat.process(a);
+  auto b = payload_packet({1}, 2, 10'000'000);
+  ASSERT_EQ(nat.process(b), 0);
+  auto layers = net::ParsedLayers::parse(b);
+  EXPECT_EQ(layers->udp->src_port, 30000);  // Freed port recycled.
+}
+
+TEST(NatExpiry, NoTimeoutMeansNoEviction) {
+  NfConfig config;
+  config.ints["entries"] = 1;
+  NatNf nat(config);
+  auto a = payload_packet({1}, 1, 0);
+  nat.process(a);
+  auto b = payload_packet({1}, 2, 1'000'000'000);
+  EXPECT_EQ(nat.process(b), SoftwareNf::kDrop);
+  EXPECT_EQ(nat.exhaustion_drops(), 1u);
+  EXPECT_EQ(nat.expired_mappings(), 0u);
+}
+
+}  // namespace
+}  // namespace lemur::nf

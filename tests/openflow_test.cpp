@@ -1,0 +1,197 @@
+// Tests for the OpenFlow switch simulator and its NF rule generation.
+#include <gtest/gtest.h>
+
+#include "src/net/packet_builder.h"
+#include "src/openflow/of_nfs.h"
+#include "src/openflow/of_switch.h"
+
+namespace lemur::openflow {
+namespace {
+
+using net::Ipv4Addr;
+using net::Ipv4Prefix;
+using net::PacketBuilder;
+
+OpenFlowSwitch make_switch() {
+  return OpenFlowSwitch(topo::OpenFlowSwitchSpec{});
+}
+
+TEST(SpiSi, VlanPackingRoundTrips) {
+  for (std::uint8_t spi : {0, 1, 42, 63}) {
+    for (std::uint8_t si : {0, 7, 63}) {
+      const auto vid = pack_spi_si(spi, si);
+      EXPECT_LT(vid, 4096);
+      const auto [s, i] = unpack_spi_si(vid);
+      EXPECT_EQ(s, spi);
+      EXPECT_EQ(i, si);
+    }
+  }
+}
+
+TEST(Switch, InstallRejectsActionInWrongTable) {
+  auto sw = make_switch();
+  OfFlowRule rule;
+  rule.table = OfTable::kIp;
+  rule.actions.push_back({OfAction::Kind::kPushVlan, 5});
+  std::string error;
+  EXPECT_FALSE(sw.install(rule, &error));
+  EXPECT_NE(error.find("fixed-function"), std::string::npos);
+}
+
+TEST(Switch, InstallRejectsWhenFull) {
+  topo::OpenFlowSwitchSpec spec;
+  spec.max_flow_entries = 2;
+  OpenFlowSwitch sw(spec);
+  OfFlowRule rule;
+  rule.table = OfTable::kAcl;
+  EXPECT_TRUE(sw.install(rule));
+  EXPECT_TRUE(sw.install(rule));
+  EXPECT_FALSE(sw.install(rule));
+}
+
+TEST(Switch, AclDropAndCounters) {
+  auto sw = make_switch();
+  OfFlowRule deny;
+  deny.table = OfTable::kAcl;
+  deny.priority = 10;
+  deny.match.src_ip = Ipv4Prefix::parse("10.9.0.0/16");
+  deny.actions.push_back({OfAction::Kind::kDrop, 0});
+  ASSERT_TRUE(sw.install(deny));
+
+  auto bad = PacketBuilder().src_ip(*Ipv4Addr::parse("10.9.1.1")).build();
+  auto r = sw.process(bad);
+  EXPECT_TRUE(r.dropped);
+  auto good = PacketBuilder().src_ip(*Ipv4Addr::parse("10.8.1.1")).build();
+  EXPECT_FALSE(sw.process(good).dropped);
+  EXPECT_EQ(sw.table_rules(OfTable::kAcl)[0].packets, 1u);
+}
+
+TEST(Switch, PriorityOrdersRules) {
+  auto sw = make_switch();
+  OfFlowRule low;
+  low.table = OfTable::kIp;
+  low.priority = 1;
+  low.match.dst_ip = Ipv4Prefix::parse("10.0.0.0/8");
+  low.actions.push_back({OfAction::Kind::kOutput, 1});
+  OfFlowRule high;
+  high.table = OfTable::kIp;
+  high.priority = 16;
+  high.match.dst_ip = Ipv4Prefix::parse("10.1.0.0/16");
+  high.actions.push_back({OfAction::Kind::kOutput, 2});
+  ASSERT_TRUE(sw.install(low));
+  ASSERT_TRUE(sw.install(high));
+  auto pkt = PacketBuilder().dst_ip(*Ipv4Addr::parse("10.1.2.3")).build();
+  EXPECT_EQ(sw.process(pkt).egress_port, 2u);
+}
+
+TEST(Switch, VlanTableRewritesTag) {
+  auto sw = make_switch();
+  OfFlowRule push;
+  push.table = OfTable::kVlan;
+  push.actions.push_back({OfAction::Kind::kPushVlan, 0x123});
+  ASSERT_TRUE(sw.install(push));
+  auto pkt = PacketBuilder().frame_size(100).build();
+  sw.process(pkt);
+  auto layers = net::ParsedLayers::parse(pkt);
+  ASSERT_TRUE(layers->vlan.has_value());
+  EXPECT_EQ(layers->vlan->vid, 0x123);
+}
+
+TEST(Switch, PipelineTraversesTablesInOrder) {
+  auto sw = make_switch();
+  // VLAN table tags; IP table then routes on the (re-parsed) frame.
+  OfFlowRule tag;
+  tag.table = OfTable::kVlan;
+  tag.actions.push_back({OfAction::Kind::kPushVlan, 0x42});
+  OfFlowRule route;
+  route.table = OfTable::kIp;
+  route.match.vlan_vid = 0x42;  // Sees the tag pushed upstream.
+  route.actions.push_back({OfAction::Kind::kOutput, 7});
+  ASSERT_TRUE(sw.install(tag));
+  ASSERT_TRUE(sw.install(route));
+  auto pkt = PacketBuilder().build();
+  auto r = sw.process(pkt);
+  EXPECT_EQ(r.tables_hit, 2);
+  EXPECT_EQ(r.egress_port, 7u);
+}
+
+// --- NF mapping ------------------------------------------------------------
+
+TEST(OfNfs, TableMappingMatchesTable3) {
+  using nf::NfType;
+  EXPECT_TRUE(table_of(NfType::kTunnel).has_value());
+  EXPECT_TRUE(table_of(NfType::kDetunnel).has_value());
+  EXPECT_TRUE(table_of(NfType::kIpv4Fwd).has_value());
+  EXPECT_TRUE(table_of(NfType::kMonitor).has_value());
+  EXPECT_TRUE(table_of(NfType::kAcl).has_value());
+  EXPECT_FALSE(table_of(NfType::kEncrypt).has_value());
+  EXPECT_FALSE(table_of(NfType::kNat).has_value());
+  EXPECT_FALSE(table_of(NfType::kDedup).has_value());
+  // Mapping must agree with the registry's has_openflow column.
+  for (const auto& spec : nf::all_nf_specs()) {
+    EXPECT_EQ(table_of(spec.type).has_value(), spec.has_openflow)
+        << spec.name;
+  }
+}
+
+TEST(OfNfs, AclRulesPreserveFirstMatchSemantics) {
+  nf::NfConfig config;
+  config.rules.push_back({{"dst_ip", "10.0.0.0/8"}, {"drop", "False"}});
+  config.rules.push_back({{"dst_ip", "0.0.0.0/0"}, {"drop", "True"}});
+  auto rules = generate_rules(nf::NfType::kAcl, config);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_GT(rules[0].priority, rules[1].priority);
+  auto sw = make_switch();
+  for (auto& r : rules) ASSERT_TRUE(sw.install(std::move(r)));
+  auto inside = PacketBuilder().dst_ip(*Ipv4Addr::parse("10.1.1.1")).build();
+  EXPECT_FALSE(sw.process(inside).dropped);
+  auto outside = PacketBuilder().dst_ip(*Ipv4Addr::parse("9.9.9.9")).build();
+  EXPECT_TRUE(sw.process(outside).dropped);
+}
+
+TEST(OfNfs, Ipv4FwdUsesPriorityAsLpm) {
+  nf::NfConfig config;
+  config.rules.push_back({{"prefix", "10.0.0.0/8"}, {"port", "1"}});
+  config.rules.push_back({{"prefix", "10.1.0.0/16"}, {"port", "2"}});
+  auto rules = generate_rules(nf::NfType::kIpv4Fwd, config);
+  auto sw = make_switch();
+  for (auto& r : rules) ASSERT_TRUE(sw.install(std::move(r)));
+  auto narrow = PacketBuilder().dst_ip(*Ipv4Addr::parse("10.1.1.1")).build();
+  EXPECT_EQ(sw.process(narrow).egress_port, 2u);
+  auto wide = PacketBuilder().dst_ip(*Ipv4Addr::parse("10.2.1.1")).build();
+  EXPECT_EQ(sw.process(wide).egress_port, 1u);
+}
+
+TEST(OfNfs, MonitorCountsViaRuleStats) {
+  nf::NfConfig config;
+  config.rules.push_back({{"src_ip", "10.0.0.0/8"}});
+  auto rules = generate_rules(nf::NfType::kMonitor, config);
+  auto sw = make_switch();
+  for (auto& r : rules) ASSERT_TRUE(sw.install(std::move(r)));
+  auto pkt = PacketBuilder()
+                 .src_ip(*Ipv4Addr::parse("10.1.1.1"))
+                 .frame_size(100)
+                 .build();
+  sw.process(pkt);
+  sw.process(pkt);
+  EXPECT_EQ(sw.table_rules(OfTable::kAcl)[0].packets, 2u);
+  EXPECT_EQ(sw.table_rules(OfTable::kAcl)[0].bytes, 200u);
+}
+
+TEST(OfNfs, TableOrderFeasibility) {
+  using nf::NfType;
+  // Detunnel -> IPv4Fwd -> ACL follows the pipeline: feasible.
+  EXPECT_TRUE(respects_table_order(
+      {NfType::kDetunnel, NfType::kIpv4Fwd, NfType::kAcl}));
+  // ACL -> IPv4Fwd runs backwards through the ASIC: infeasible.
+  EXPECT_FALSE(respects_table_order({NfType::kAcl, NfType::kIpv4Fwd}));
+  // Tunnel and Detunnel share the VLAN table: cannot both run in one pass.
+  EXPECT_FALSE(
+      respects_table_order({NfType::kDetunnel, NfType::kTunnel}));
+  // NFs without OF implementations are infeasible outright.
+  EXPECT_FALSE(respects_table_order({NfType::kEncrypt}));
+  EXPECT_TRUE(respects_table_order({NfType::kAcl}));
+}
+
+}  // namespace
+}  // namespace lemur::openflow

@@ -1,0 +1,577 @@
+// Tests for the PISA switch simulator: IR, parser merging, dependency
+// analysis, stage packing, and pipeline execution.
+#include <gtest/gtest.h>
+
+#include "src/net/packet_builder.h"
+#include "src/pisa/compiler.h"
+#include "src/pisa/p4_printer.h"
+#include "src/pisa/phv.h"
+#include "src/pisa/switch_sim.h"
+
+namespace lemur::pisa {
+namespace {
+
+using net::Ipv4Addr;
+using net::PacketBuilder;
+
+// --- Helpers to build small programs -------------------------------------
+
+TableDef make_table(const std::string& name,
+                    std::vector<MatchField> match,
+                    std::vector<ActionDef> actions,
+                    int size = 16) {
+  TableDef t;
+  t.name = name;
+  t.match = std::move(match);
+  t.actions = std::move(actions);
+  t.size = size;
+  return t;
+}
+
+ActionDef action_set_meta(const std::string& name, const std::string& field,
+                          std::int64_t imm) {
+  ActionDef a;
+  a.name = name;
+  PrimitiveOp op;
+  op.kind = PrimitiveOp::Kind::kSetFieldImm;
+  op.field = field;
+  op.imm = imm;
+  a.ops.push_back(op);
+  return a;
+}
+
+ActionDef action_drop() {
+  ActionDef a;
+  a.name = "do_drop";
+  PrimitiveOp op;
+  op.kind = PrimitiveOp::Kind::kDrop;
+  a.ops.push_back(op);
+  return a;
+}
+
+ActionDef action_noop(const std::string& name = "nop") {
+  ActionDef a;
+  a.name = name;
+  a.ops.push_back(PrimitiveOp{});
+  return a;
+}
+
+// --- Parser merging (appendix A.2.1) --------------------------------------
+
+ParserGraph eth_ipv4_parser() {
+  ParserGraph g;
+  g.root = "eth";
+  g.states = {"eth", "ipv4"};
+  g.transitions = {{"eth", "eth.type", 0x0800, "ipv4"}};
+  return g;
+}
+
+TEST(ParserMerge, UnionOfTransitions) {
+  ParserGraph a = eth_ipv4_parser();
+  ParserGraph b;
+  b.root = "eth";
+  b.states = {"eth", "vlan", "ipv4"};
+  b.transitions = {{"eth", "eth.type", 0x8100, "vlan"},
+                   {"vlan", "vlan.type", 0x0800, "ipv4"}};
+  auto r = merge_parsers(a, b);
+  ASSERT_TRUE(r.ok) << r.conflict;
+  EXPECT_EQ(r.merged.states.size(), 3u);
+  EXPECT_EQ(r.merged.transitions.size(), 3u);
+}
+
+TEST(ParserMerge, DuplicateTransitionsDeduplicated) {
+  ParserGraph a = eth_ipv4_parser();
+  auto r = merge_parsers(a, a);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.merged.transitions.size(), 1u);
+  EXPECT_EQ(r.merged.states.size(), 2u);
+}
+
+TEST(ParserMerge, ConflictingTransitionRejected) {
+  ParserGraph a = eth_ipv4_parser();
+  ParserGraph b;
+  b.root = "eth";
+  b.states = {"eth", "myproto"};
+  b.transitions = {{"eth", "eth.type", 0x0800, "myproto"}};
+  auto r = merge_parsers(a, b);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.conflict.find("conflicting"), std::string::npos);
+}
+
+TEST(ParserMerge, EmptyBaseAdoptsAdditionRoot) {
+  ParserGraph empty;
+  empty.states.clear();
+  auto r = merge_parsers(empty, eth_ipv4_parser());
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.merged.root, "eth");
+}
+
+// --- Access sets & dependency analysis ------------------------------------
+
+TEST(AccessSets, MatchFieldsAreReads) {
+  P4Program prog;
+  prog.tables.push_back(make_table(
+      "t0", {{"ipv4.dst", MatchKind::kExact, 32}},
+      {action_set_meta("set_x", "meta.x", 1)}));
+  prog.control.push_back({0, {}});
+  auto sets = access_sets(prog, 0);
+  ASSERT_EQ(sets.reads.size(), 1u);
+  EXPECT_EQ(sets.reads[0], "ipv4.dst");
+  ASSERT_EQ(sets.writes.size(), 1u);
+  EXPECT_EQ(sets.writes[0], "meta.x");
+}
+
+TEST(AccessSets, GuardFieldsAreReads) {
+  P4Program prog;
+  prog.tables.push_back(make_table("t0", {}, {action_noop()}));
+  TableApply apply;
+  apply.table = 0;
+  apply.guard.all_of.push_back({"meta.branch", Condition::Cmp::kEq, 2});
+  prog.control.push_back(apply);
+  auto sets = access_sets(prog, 0);
+  ASSERT_EQ(sets.reads.size(), 1u);
+  EXPECT_EQ(sets.reads[0], "meta.branch");
+}
+
+TEST(Dependencies, WriteReadCreatesEdge) {
+  P4Program prog;
+  prog.tables.push_back(make_table("writer", {},
+                                   {action_set_meta("w", "meta.x", 1)}));
+  prog.tables.push_back(make_table(
+      "reader", {{"meta.x", MatchKind::kExact, 8}}, {action_noop()}));
+  prog.control.push_back({0, {}});
+  prog.control.push_back({1, {}});
+  auto edges = dependency_edges(prog);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 1));
+}
+
+TEST(Dependencies, IndependentTablesHaveNoEdge) {
+  P4Program prog;
+  prog.tables.push_back(make_table("a", {{"ipv4.src", MatchKind::kExact, 32}},
+                                   {action_set_meta("wa", "meta.a", 1)}));
+  prog.tables.push_back(make_table("b", {{"ipv4.dst", MatchKind::kExact, 32}},
+                                   {action_set_meta("wb", "meta.b", 1)}));
+  prog.control.push_back({0, {}});
+  prog.control.push_back({1, {}});
+  EXPECT_TRUE(dependency_edges(prog).empty());
+}
+
+// --- Stage packing ---------------------------------------------------------
+
+topo::PisaSwitchSpec small_switch(int stages, int tables_per_stage = 4) {
+  topo::PisaSwitchSpec spec;
+  spec.stages = stages;
+  spec.tables_per_stage = tables_per_stage;
+  return spec;
+}
+
+// N independent tables pack into ceil(N / tables_per_stage) stages even
+// though the conservative estimate is N stages.
+TEST(Compiler, PacksIndependentTables) {
+  P4Program prog;
+  for (int i = 0; i < 8; ++i) {
+    const std::string id = std::to_string(i);
+    prog.tables.push_back(
+        make_table("t" + id, {{"ipv4.dst", MatchKind::kExact, 32}},
+                   {action_set_meta("set" + id, "meta.m" + id, 1)}));
+    prog.control.push_back({i, {}});
+  }
+  EXPECT_EQ(estimate_stages_conservative(prog), 8);
+  auto r = compile(prog, small_switch(12, 4));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.stages_required, 2);  // 8 tables / 4 per stage.
+}
+
+TEST(Compiler, DependentChainUsesOneStageEach) {
+  P4Program prog;
+  for (int i = 0; i < 5; ++i) {
+    const std::string cur = "meta.v" + std::to_string(i);
+    const std::string next = "meta.v" + std::to_string(i + 1);
+    prog.tables.push_back(
+        make_table("t" + std::to_string(i),
+                   {{cur, MatchKind::kExact, 8}},
+                   {action_set_meta("s" + std::to_string(i), next, 1)}));
+    prog.control.push_back({i, {}});
+  }
+  auto r = compile(prog, small_switch(12));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.stages_required, 5);
+}
+
+TEST(Compiler, StageOverflowFailsWithCount) {
+  P4Program prog;
+  for (int i = 0; i < 5; ++i) {
+    const std::string cur = "meta.v" + std::to_string(i);
+    const std::string next = "meta.v" + std::to_string(i + 1);
+    prog.tables.push_back(
+        make_table("t" + std::to_string(i), {{cur, MatchKind::kExact, 8}},
+                   {action_set_meta("s" + std::to_string(i), next, 1)}));
+    prog.control.push_back({i, {}});
+  }
+  auto r = compile(prog, small_switch(3));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.stages_required, 5);
+  EXPECT_NE(r.error.find("stages"), std::string::npos);
+}
+
+TEST(Compiler, MemoryBudgetSpillsToNextStage) {
+  topo::PisaSwitchSpec spec = small_switch(12, 8);
+  spec.sram_bytes_per_stage = 8 * 1024;
+  P4Program prog;
+  // Two fat independent tables that cannot share one stage's SRAM.
+  for (int i = 0; i < 2; ++i) {
+    auto t = make_table("fat" + std::to_string(i),
+                        {{"ipv4.dst", MatchKind::kExact, 32}},
+                        {action_set_meta("a" + std::to_string(i),
+                                         "meta.x" + std::to_string(i), 1)},
+                        /*size=*/400);
+    prog.tables.push_back(t);
+    prog.control.push_back({i, {}});
+  }
+  ASSERT_GT(table_sram_bytes(prog.tables[0]), 4 * 1024);
+  auto r = compile(prog, spec);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.stages_required, 2);
+}
+
+TEST(Compiler, OversizedTableFailsOutright) {
+  topo::PisaSwitchSpec spec = small_switch(12);
+  spec.sram_bytes_per_stage = 1024;
+  P4Program prog;
+  prog.tables.push_back(make_table("huge",
+                                   {{"ipv4.dst", MatchKind::kExact, 32}},
+                                   {action_noop()}, /*size=*/100000));
+  prog.control.push_back({0, {}});
+  auto r = compile(prog, spec);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("memory"), std::string::npos);
+}
+
+TEST(Compiler, TcamBudgetTracked) {
+  P4Program prog;
+  prog.tables.push_back(make_table(
+      "lpm", {{"ipv4.dst", MatchKind::kLpm, 32}}, {action_noop()}, 128));
+  prog.control.push_back({0, {}});
+  auto r = compile(prog, small_switch(12));
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.stats.total_tcam_bytes, 0);
+}
+
+// Parallel-branch packing: two branch tables guarded by *different*
+// metadata values both depend on the classifier but not on each other, so
+// they share a stage (the paper's optimization (d)).
+TEST(Compiler, ParallelBranchesShareStage) {
+  P4Program prog;
+  prog.tables.push_back(make_table(
+      "classify", {{"ipv4.src", MatchKind::kExact, 32}},
+      {action_set_meta("set_branch", "meta.branch", 1)}));
+  prog.tables.push_back(make_table(
+      "branch_a", {{"ipv4.dst", MatchKind::kExact, 32}},
+      {action_set_meta("a", "meta.out_a", 1)}));
+  prog.tables.push_back(make_table(
+      "branch_b", {{"l4.dport", MatchKind::kExact, 16}},
+      {action_set_meta("b", "meta.out_b", 1)}));
+  prog.control.push_back({0, {}});
+  TableApply apply_a;
+  apply_a.table = 1;
+  apply_a.guard.all_of.push_back({"meta.branch", Condition::Cmp::kEq, 1});
+  prog.control.push_back(apply_a);
+  TableApply apply_b;
+  apply_b.table = 2;
+  apply_b.guard.all_of.push_back({"meta.branch", Condition::Cmp::kEq, 2});
+  prog.control.push_back(apply_b);
+
+  auto r = compile(prog, small_switch(12));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.stages_required, 2);  // classify | {branch_a, branch_b}.
+}
+
+// --- PHV context -----------------------------------------------------------
+
+TEST(Phv, ReadsWireFields) {
+  net::Packet pkt = PacketBuilder()
+                        .src_ip(*Ipv4Addr::parse("10.0.0.1"))
+                        .dst_ip(*Ipv4Addr::parse("10.0.0.2"))
+                        .src_port(123)
+                        .dst_port(456)
+                        .build();
+  PhvContext ctx(pkt);
+  EXPECT_EQ(ctx.get("ipv4.src"), 0x0a000001u);
+  EXPECT_EQ(ctx.get("ipv4.dst"), 0x0a000002u);
+  EXPECT_EQ(ctx.get("l4.sport"), 123u);
+  EXPECT_EQ(ctx.get("l4.dport"), 456u);
+  EXPECT_EQ(ctx.get("eth.type"), 0x0800u);
+}
+
+TEST(Phv, WritesFlushWithValidChecksum) {
+  net::Packet pkt = PacketBuilder().build();
+  {
+    PhvContext ctx(pkt);
+    ctx.set("ipv4.dst", 0xC0A80101);
+    ctx.set("l4.dport", 8080);
+    ctx.flush();
+  }
+  auto layers = net::ParsedLayers::parse(pkt);
+  ASSERT_TRUE(layers.has_value());
+  ASSERT_TRUE(layers->ipv4.has_value()) << "checksum must re-verify";
+  EXPECT_EQ(layers->ipv4->dst.value, 0xC0A80101u);
+  EXPECT_EQ(layers->udp->dst_port, 8080);
+}
+
+TEST(Phv, MetadataIndependentOfPacket) {
+  net::Packet pkt = PacketBuilder().build();
+  PhvContext ctx(pkt);
+  EXPECT_EQ(ctx.get("meta.x"), 0u);
+  ctx.set("meta.x", 42);
+  EXPECT_EQ(ctx.get("meta.x"), 42u);
+  EXPECT_FALSE(ctx.dropped());
+  ctx.set("std.drop", 1);
+  EXPECT_TRUE(ctx.dropped());
+}
+
+TEST(Phv, StructuralOpsPreserveEdits) {
+  net::Packet pkt = PacketBuilder().build();
+  PhvContext ctx(pkt);
+  ctx.set("ipv4.ttl", 7);
+  ctx.push_nsh(5, 50);  // Forces a flush + reparse.
+  EXPECT_EQ(ctx.get("nsh.spi"), 5u);
+  EXPECT_EQ(ctx.get("ipv4.ttl"), 7u);
+  ctx.pop_nsh();
+  ctx.flush();
+  auto layers = net::ParsedLayers::parse(pkt);
+  EXPECT_EQ(layers->ipv4->ttl, 7);
+  EXPECT_FALSE(layers->nsh.has_value());
+}
+
+// --- Runtime tables & pipeline execution -----------------------------------
+
+P4Program acl_fwd_program() {
+  // acl: drop packets from a source prefix. fwd: set egress by dst.
+  P4Program prog;
+  TableDef acl = make_table(
+      "acl", {{"ipv4.src", MatchKind::kTernary, 32}},
+      {action_drop(), action_noop("permit")});
+  acl.default_action = "permit";
+  prog.tables.push_back(acl);
+
+  ActionDef fwd;
+  fwd.name = "set_port";
+  fwd.num_params = 1;
+  PrimitiveOp op;
+  op.kind = PrimitiveOp::Kind::kEgressParam;
+  op.param = 0;
+  fwd.ops.push_back(op);
+  TableDef fwd_table =
+      make_table("fwd", {{"ipv4.dst", MatchKind::kLpm, 32}}, {fwd});
+  prog.tables.push_back(fwd_table);
+
+  prog.control.push_back({0, {}});
+  prog.control.push_back({1, {}});
+  return prog;
+}
+
+TEST(Switch, ExactPipelineExecution) {
+  PisaSwitch sw(acl_fwd_program(), topo::PisaSwitchSpec{});
+  ASSERT_TRUE(sw.load().ok);
+  // Drop 10.9.0.0/16 sources.
+  TableEntry deny;
+  deny.key = {MatchValue::ternary(0x0a090000, 0xffff0000)};
+  deny.action = "do_drop";
+  ASSERT_TRUE(sw.add_entry("acl", deny));
+  // Route 192.168.0.0/16 to port 3.
+  TableEntry route;
+  route.key = {MatchValue::lpm(0xc0a80000, 16)};
+  route.action = "set_port";
+  route.params = {3};
+  ASSERT_TRUE(sw.add_entry("fwd", route));
+
+  net::Packet ok_pkt = PacketBuilder()
+                           .src_ip(*Ipv4Addr::parse("10.8.0.1"))
+                           .dst_ip(*Ipv4Addr::parse("192.168.5.5"))
+                           .build();
+  auto r1 = sw.process(ok_pkt);
+  EXPECT_FALSE(r1.dropped);
+  EXPECT_EQ(r1.egress_port, 3u);
+
+  net::Packet bad_pkt = PacketBuilder()
+                            .src_ip(*Ipv4Addr::parse("10.9.1.1"))
+                            .dst_ip(*Ipv4Addr::parse("192.168.5.5"))
+                            .build();
+  auto r2 = sw.process(bad_pkt);
+  EXPECT_TRUE(r2.dropped);
+  EXPECT_TRUE(bad_pkt.drop);
+  EXPECT_EQ(sw.packets_processed(), 2u);
+  EXPECT_EQ(sw.packets_dropped(), 1u);
+}
+
+TEST(Switch, LpmPrefersLongestPrefix) {
+  P4Program prog;
+  ActionDef fwd;
+  fwd.name = "set_port";
+  fwd.num_params = 1;
+  PrimitiveOp op;
+  op.kind = PrimitiveOp::Kind::kEgressParam;
+  fwd.ops.push_back(op);
+  prog.tables.push_back(
+      make_table("fwd", {{"ipv4.dst", MatchKind::kLpm, 32}}, {fwd}));
+  prog.control.push_back({0, {}});
+  PisaSwitch sw(std::move(prog), topo::PisaSwitchSpec{});
+  ASSERT_TRUE(sw.load().ok);
+  TableEntry wide;
+  wide.key = {MatchValue::lpm(0x0a000000, 8)};
+  wide.action = "set_port";
+  wide.params = {1};
+  TableEntry narrow;
+  narrow.key = {MatchValue::lpm(0x0a010000, 16)};
+  narrow.action = "set_port";
+  narrow.params = {2};
+  ASSERT_TRUE(sw.add_entry("fwd", wide));
+  ASSERT_TRUE(sw.add_entry("fwd", narrow));
+
+  net::Packet pkt =
+      PacketBuilder().dst_ip(*Ipv4Addr::parse("10.1.2.3")).build();
+  EXPECT_EQ(sw.process(pkt).egress_port, 2u);
+  net::Packet pkt2 =
+      PacketBuilder().dst_ip(*Ipv4Addr::parse("10.2.2.3")).build();
+  EXPECT_EQ(sw.process(pkt2).egress_port, 1u);
+}
+
+TEST(Switch, TernaryPriorityBreaksTies) {
+  P4Program prog;
+  prog.tables.push_back(make_table(
+      "t", {{"l4.dport", MatchKind::kTernary, 16}},
+      {action_set_meta("low", "std.egress_port", 1),
+       action_set_meta("high", "std.egress_port", 2)}));
+  prog.control.push_back({0, {}});
+  PisaSwitch sw(std::move(prog), topo::PisaSwitchSpec{});
+  ASSERT_TRUE(sw.load().ok);
+  TableEntry low;
+  low.key = {MatchValue::wildcard()};
+  low.priority = 0;
+  low.action = "low";
+  TableEntry high;
+  high.key = {MatchValue::ternary(80, 0xffff)};
+  high.priority = 10;
+  high.action = "high";
+  ASSERT_TRUE(sw.add_entry("t", low));
+  ASSERT_TRUE(sw.add_entry("t", high));
+
+  net::Packet to80 = PacketBuilder().dst_port(80).build();
+  EXPECT_EQ(sw.process(to80).egress_port, 2u);
+  net::Packet to81 = PacketBuilder().dst_port(81).build();
+  EXPECT_EQ(sw.process(to81).egress_port, 1u);
+}
+
+TEST(Switch, GuardSkipsTable) {
+  P4Program prog;
+  prog.tables.push_back(make_table(
+      "classify", {}, {action_noop()}));
+  prog.tables.back().default_action = "nop";
+  TableDef guarded = make_table(
+      "guarded", {}, {action_set_meta("mark", "std.egress_port", 9)});
+  guarded.default_action = "mark";
+  prog.tables.push_back(guarded);
+  prog.control.push_back({0, {}});
+  TableApply apply;
+  apply.table = 1;
+  apply.guard.all_of.push_back({"meta.go", Condition::Cmp::kEq, 1});
+  prog.control.push_back(apply);
+  PisaSwitch sw(std::move(prog), topo::PisaSwitchSpec{});
+  ASSERT_TRUE(sw.load().ok);
+  net::Packet pkt = PacketBuilder().build();
+  // meta.go defaults to 0 -> guarded table skipped -> port stays 0.
+  EXPECT_EQ(sw.process(pkt).egress_port, 0u);
+}
+
+TEST(Switch, DefaultActionOnMiss) {
+  P4Program prog;
+  TableDef t = make_table("t", {{"ipv4.dst", MatchKind::kExact, 32}},
+                          {action_drop(), action_noop("permit")});
+  t.default_action = "do_drop";
+  prog.tables.push_back(t);
+  prog.control.push_back({0, {}});
+  PisaSwitch sw(std::move(prog), topo::PisaSwitchSpec{});
+  ASSERT_TRUE(sw.load().ok);
+  net::Packet pkt = PacketBuilder().build();
+  EXPECT_TRUE(sw.process(pkt).dropped);
+}
+
+TEST(Switch, RejectsEntryForUnknownActionOrBadArity) {
+  PisaSwitch sw(acl_fwd_program(), topo::PisaSwitchSpec{});
+  ASSERT_TRUE(sw.load().ok);
+  TableEntry bad_action;
+  bad_action.key = {MatchValue::exact(1)};
+  bad_action.action = "nonexistent";
+  EXPECT_FALSE(sw.add_entry("acl", bad_action));
+  TableEntry bad_arity;
+  bad_arity.key = {};
+  bad_arity.action = "do_drop";
+  EXPECT_FALSE(sw.add_entry("acl", bad_arity));
+  EXPECT_FALSE(sw.add_entry("no_such_table", TableEntry{}));
+}
+
+TEST(Switch, NshManipulationActions) {
+  P4Program prog;
+  ActionDef encap;
+  encap.name = "encap";
+  encap.num_params = 2;
+  PrimitiveOp op;
+  op.kind = PrimitiveOp::Kind::kPushNshParams;
+  op.param = 0;
+  encap.ops.push_back(op);
+  TableDef t = make_table("encap_t", {}, {encap});
+  t.default_action = "encap";
+  t.default_params = {17, 250};
+  prog.tables.push_back(t);
+  prog.control.push_back({0, {}});
+  PisaSwitch sw(std::move(prog), topo::PisaSwitchSpec{});
+  ASSERT_TRUE(sw.load().ok);
+  net::Packet pkt = PacketBuilder().build();
+  sw.process(pkt);
+  auto layers = net::ParsedLayers::parse(pkt);
+  ASSERT_TRUE(layers->nsh.has_value());
+  EXPECT_EQ(layers->nsh->spi, 17u);
+  EXPECT_EQ(layers->nsh->si, 250);
+}
+
+// --- Printer ----------------------------------------------------------------
+
+TEST(Printer, EmitsParseableStructure) {
+  const P4Program prog = acl_fwd_program();
+  const std::string text = print_program(prog);
+  EXPECT_NE(text.find("table acl"), std::string::npos);
+  EXPECT_NE(text.find("table fwd"), std::string::npos);
+  EXPECT_NE(text.find("control ingress"), std::string::npos);
+  EXPECT_GT(count_program_lines(prog), 10);
+}
+
+// Property: for any number of independent tables, packed stages <=
+// conservative estimate, and both are >= 1.
+class PackingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackingProperty, PackingNeverWorseThanConservative) {
+  const int n = GetParam();
+  P4Program prog;
+  for (int i = 0; i < n; ++i) {
+    prog.tables.push_back(
+        make_table("t" + std::to_string(i),
+                   {{"ipv4.dst", MatchKind::kExact, 32}},
+                   {action_set_meta("s" + std::to_string(i),
+                                    "meta.m" + std::to_string(i), 1)}));
+    prog.control.push_back({i, {}});
+  }
+  topo::PisaSwitchSpec spec;
+  spec.stages = 64;
+  auto r = compile(prog, spec);
+  ASSERT_TRUE(r.ok);
+  EXPECT_LE(r.stages_required, estimate_stages_conservative(prog));
+  EXPECT_GE(r.stages_required, (n + spec.tables_per_stage - 1) /
+                                   spec.tables_per_stage);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableCounts, PackingProperty,
+                         ::testing::Values(1, 2, 4, 7, 12, 20, 33));
+
+}  // namespace
+}  // namespace lemur::pisa

@@ -1,0 +1,266 @@
+// lemur_cli — operator front-end for the Lemur pipeline.
+//
+// Place NF chains across a simulated rack, inspect the generated
+// artifacts, and optionally execute the deployment:
+//
+//   lemur_cli --chain 1 --chain 3 --delta 1.0 --measure 10
+//   lemur_cli --spec my_chain.lemur --t-min 2 --print-p4
+//   lemur_cli --chain 5 --smartnic --strategy optimal
+//
+// Options:
+//   --spec FILE      chain spec file (dataflow language); repeatable
+//   --chain N        canonical chain 1..5 (paper Table 2); repeatable
+//   --delta D        t_min = D x base rate for every chain (default 1.0)
+//   --t-min G        explicit t_min in Gbps (overrides --delta)
+//   --t-max G        burst cap in Gbps (default 100)
+//   --d-max US       latency bound in microseconds
+//   --strategy S     lemur|optimal|hw|sw|minbounce|greedy (default lemur)
+//   --servers N      number of servers (default 1)
+//   --cores N        cores per server (default 16)
+//   --smartnic       attach an eBPF SmartNIC
+//   --openflow       attach an OpenFlow switch
+//   --no-pisa-nfs    ToR coordinates only (no NF offload)
+//   --measure MS     deploy and measure for MS milliseconds
+//   --pcap FILE      capture egress traffic to a pcap during --measure
+//   --print-p4       dump the unified P4 program
+//   --print-bess     dump the per-server BESS scripts
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/chain/parser.h"
+#include "src/metacompiler/pisa_oracle.h"
+#include "src/pisa/p4_printer.h"
+#include "src/placer/placer.h"
+#include "src/runtime/testbed.h"
+
+namespace {
+
+using namespace lemur;
+
+struct CliOptions {
+  std::vector<std::string> spec_files;
+  std::vector<int> canonical;
+  double delta = 1.0;
+  double t_min = -1;
+  double t_max = 100.0;
+  double d_max = -1;
+  placer::Strategy strategy = placer::Strategy::kLemur;
+  int servers = 1;
+  int cores = 16;
+  bool smartnic = false;
+  bool openflow = false;
+  bool no_pisa_nfs = false;
+  double measure_ms = 0;
+  std::string pcap_path;
+  bool print_p4 = false;
+  bool print_bess = false;
+};
+
+int usage(const char* argv0) {
+  std::printf("usage: %s [--spec FILE | --chain N]... [options]\n"
+              "see the header of tools/lemur_cli.cpp for the full list\n",
+              argv0);
+  return 2;
+}
+
+bool parse_strategy(const std::string& name, placer::Strategy* out) {
+  if (name == "lemur") *out = placer::Strategy::kLemur;
+  else if (name == "optimal") *out = placer::Strategy::kOptimal;
+  else if (name == "hw") *out = placer::Strategy::kHwPreferred;
+  else if (name == "sw") *out = placer::Strategy::kSwPreferred;
+  else if (name == "minbounce") *out = placer::Strategy::kMinimumBounce;
+  else if (name == "greedy") *out = placer::Strategy::kGreedy;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cli.spec_files.push_back(v);
+    } else if (arg == "--chain") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cli.canonical.push_back(std::atoi(v));
+    } else if (arg == "--delta") {
+      cli.delta = std::atof(next() ? argv[i] : "1");
+    } else if (arg == "--t-min") {
+      cli.t_min = std::atof(next() ? argv[i] : "0");
+    } else if (arg == "--t-max") {
+      cli.t_max = std::atof(next() ? argv[i] : "100");
+    } else if (arg == "--d-max") {
+      cli.d_max = std::atof(next() ? argv[i] : "0");
+    } else if (arg == "--strategy") {
+      const char* v = next();
+      if (v == nullptr || !parse_strategy(v, &cli.strategy)) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--servers") {
+      cli.servers = std::atoi(next() ? argv[i] : "1");
+    } else if (arg == "--cores") {
+      cli.cores = std::atoi(next() ? argv[i] : "16");
+    } else if (arg == "--smartnic") {
+      cli.smartnic = true;
+    } else if (arg == "--openflow") {
+      cli.openflow = true;
+    } else if (arg == "--no-pisa-nfs") {
+      cli.no_pisa_nfs = true;
+    } else if (arg == "--measure") {
+      cli.measure_ms = std::atof(next() ? argv[i] : "10");
+    } else if (arg == "--pcap") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cli.pcap_path = v;
+    } else if (arg == "--print-p4") {
+      cli.print_p4 = true;
+    } else if (arg == "--print-bess") {
+      cli.print_bess = true;
+    } else {
+      std::printf("unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (cli.spec_files.empty() && cli.canonical.empty()) {
+    return usage(argv[0]);
+  }
+
+  // Topology.
+  topo::Topology topo = cli.servers == 1 && cli.cores == 16
+                            ? topo::Topology::lemur_testbed()
+                            : topo::Topology::multi_server(cli.servers,
+                                                           cli.cores);
+  if (cli.smartnic) topo.smartnics.push_back(topo::SmartNicSpec{});
+  if (cli.openflow) topo.openflow = topo::OpenFlowSwitchSpec{};
+
+  placer::PlacerOptions options;
+  options.disable_pisa_nfs = cli.no_pisa_nfs;
+  if (cli.no_pisa_nfs) options.restrict_ipv4fwd_to_p4 = false;
+
+  // Chains.
+  std::vector<chain::ChainSpec> chains;
+  for (int n : cli.canonical) {
+    if (n < 1 || n > 5) {
+      std::printf("canonical chains are numbered 1..5\n");
+      return 2;
+    }
+    auto set = chain::canonical_chains({n});
+    chains.push_back(std::move(set[0]));
+  }
+  for (const auto& path : cli.spec_files) {
+    std::ifstream file(path);
+    if (!file) {
+      std::printf("cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    auto parsed = chain::parse_chain(text.str());
+    if (!parsed.ok) {
+      std::printf("%s: %s\n", path.c_str(), parsed.error.c_str());
+      return 2;
+    }
+    chain::ChainSpec spec;
+    spec.name = path;
+    spec.graph = std::move(parsed.graph);
+    chains.push_back(std::move(spec));
+  }
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    chains[c].aggregate_id = static_cast<std::uint32_t>(c + 1);
+    chains[c].slo = chain::Slo::elastic_pipe(0, cli.t_max);
+  }
+  if (cli.t_min >= 0) {
+    for (auto& spec : chains) spec.slo.t_min_gbps = cli.t_min;
+  } else {
+    placer::apply_delta(chains, cli.delta, topo.servers.front(), options);
+  }
+  if (cli.d_max > 0) {
+    for (auto& spec : chains) spec.slo = spec.slo.with_latency(cli.d_max);
+  }
+
+  // Place.
+  metacompiler::CompilerOracle oracle(topo);
+  auto placement =
+      placer::place(cli.strategy, chains, topo, options, oracle);
+  std::printf("strategy %s on %zu chain(s), %d server(s) x %d cores%s%s\n",
+              placer::to_string(cli.strategy), chains.size(), cli.servers,
+              cli.cores, cli.smartnic ? " + SmartNIC" : "",
+              cli.openflow ? " + OpenFlow" : "");
+  if (!placement.feasible) {
+    std::printf("INFEASIBLE: %s\n", placement.infeasible_reason.c_str());
+    return 1;
+  }
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    std::printf("\n%s (t_min %.2f, t_max %.2f):\n", chains[c].name.c_str(),
+                chains[c].slo.t_min_gbps, chains[c].slo.t_max_gbps);
+    for (const auto& node : chains[c].graph.nodes()) {
+      std::printf("  %-20s -> %s\n", node.instance_name.c_str(),
+                  placer::to_string(
+                      placement.chains[c]
+                          .nodes[static_cast<std::size_t>(node.id)]
+                          .target));
+    }
+    std::printf("  assigned %.2f Gbps, %d bounce(s), latency %.1f us\n",
+                placement.chains[c].assigned_gbps,
+                placement.chains[c].bounces,
+                placement.chains[c].latency_us);
+  }
+  std::printf("\naggregate %.2f Gbps (marginal %.2f), %d switch stages, "
+              "%d cores, placed in %.3f s\n",
+              placement.aggregate_gbps, placement.marginal_gbps(),
+              placement.pisa_stages_used, placement.cores_used,
+              placement.placement_seconds);
+
+  if (!cli.print_p4 && !cli.print_bess && cli.measure_ms <= 0) return 0;
+
+  auto artifacts = metacompiler::compile(chains, placement, topo);
+  if (!artifacts.ok) {
+    std::printf("metacompiler error: %s\n", artifacts.error.c_str());
+    return 1;
+  }
+  if (cli.print_p4) {
+    std::printf("\n===== unified P4 program =====\n%s",
+                pisa::print_program(artifacts.p4.program).c_str());
+  }
+  if (cli.print_bess) {
+    for (const auto& plan : artifacts.server_plans) {
+      if (plan.segments.empty()) continue;
+      std::printf("\n===== BESS script, server %d =====\n%s", plan.server,
+                  plan.print_script(chains).c_str());
+    }
+  }
+  if (cli.measure_ms > 0) {
+    runtime::Testbed testbed(chains, placement, artifacts, topo);
+    if (!testbed.ok()) {
+      std::printf("deployment error: %s\n", testbed.error().c_str());
+      return 1;
+    }
+    if (!cli.pcap_path.empty() &&
+        !testbed.capture_egress_to(cli.pcap_path)) {
+      std::printf("cannot open pcap '%s'\n", cli.pcap_path.c_str());
+      return 1;
+    }
+    auto m = testbed.run(cli.measure_ms);
+    std::printf("\nmeasured over %.1f ms:\n", cli.measure_ms);
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      std::printf("  %-20s %8.2f Gbps, latency %6.1f us\n",
+                  chains[c].name.c_str(), m.chain_gbps[c],
+                  m.chain_latency_us[c]);
+    }
+    std::printf("  aggregate %.2f Gbps (%llu packets, %llu dropped)\n",
+                m.aggregate_gbps,
+                static_cast<unsigned long long>(m.delivered_packets),
+                static_cast<unsigned long long>(m.dropped_packets));
+  }
+  return 0;
+}
