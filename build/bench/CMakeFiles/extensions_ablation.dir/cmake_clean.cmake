@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_ablation.dir/extensions_ablation.cpp.o"
+  "CMakeFiles/extensions_ablation.dir/extensions_ablation.cpp.o.d"
+  "extensions_ablation"
+  "extensions_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

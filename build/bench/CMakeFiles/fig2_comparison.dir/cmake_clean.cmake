@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_comparison.dir/fig2_comparison.cpp.o"
+  "CMakeFiles/fig2_comparison.dir/fig2_comparison.cpp.o.d"
+  "fig2_comparison"
+  "fig2_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

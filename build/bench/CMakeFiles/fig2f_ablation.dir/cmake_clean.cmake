@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2f_ablation.dir/fig2f_ablation.cpp.o"
+  "CMakeFiles/fig2f_ablation.dir/fig2f_ablation.cpp.o.d"
+  "fig2f_ablation"
+  "fig2f_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2f_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_multiserver.dir/fig3a_multiserver.cpp.o"
+  "CMakeFiles/fig3a_multiserver.dir/fig3a_multiserver.cpp.o.d"
+  "fig3a_multiserver"
+  "fig3a_multiserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_multiserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

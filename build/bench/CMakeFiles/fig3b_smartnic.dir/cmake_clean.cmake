@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_smartnic.dir/fig3b_smartnic.cpp.o"
+  "CMakeFiles/fig3b_smartnic.dir/fig3b_smartnic.cpp.o.d"
+  "fig3b_smartnic"
+  "fig3b_smartnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_smartnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_openflow.dir/fig3c_openflow.cpp.o"
+  "CMakeFiles/fig3c_openflow.dir/fig3c_openflow.cpp.o.d"
+  "fig3c_openflow"
+  "fig3c_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

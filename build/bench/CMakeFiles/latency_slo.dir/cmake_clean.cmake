@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_slo.dir/latency_slo.cpp.o"
+  "CMakeFiles/latency_slo.dir/latency_slo.cpp.o.d"
+  "latency_slo"
+  "latency_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

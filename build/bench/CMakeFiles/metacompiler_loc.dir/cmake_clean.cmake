@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacompiler_loc.dir/metacompiler_loc.cpp.o"
+  "CMakeFiles/metacompiler_loc.dir/metacompiler_loc.cpp.o.d"
+  "metacompiler_loc"
+  "metacompiler_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacompiler_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

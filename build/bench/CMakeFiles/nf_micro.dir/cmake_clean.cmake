@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_micro.dir/nf_micro.cpp.o"
+  "CMakeFiles/nf_micro.dir/nf_micro.cpp.o.d"
+  "nf_micro"
+  "nf_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overheads.dir/overheads.cpp.o"
+  "CMakeFiles/overheads.dir/overheads.cpp.o.d"
+  "overheads"
+  "overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placer_scaling.dir/placer_scaling.cpp.o"
+  "CMakeFiles/placer_scaling.dir/placer_scaling.cpp.o.d"
+  "placer_scaling"
+  "placer_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placer_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_error.dir/profiling_error.cpp.o"
+  "CMakeFiles/profiling_error.dir/profiling_error.cpp.o.d"
+  "profiling_error"
+  "profiling_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

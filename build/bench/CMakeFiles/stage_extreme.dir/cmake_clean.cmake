@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_extreme.dir/stage_extreme.cpp.o"
+  "CMakeFiles/stage_extreme.dir/stage_extreme.cpp.o.d"
+  "stage_extreme"
+  "stage_extreme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_extreme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stage_extreme.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_nf_matrix.dir/table3_nf_matrix.cpp.o"
+  "CMakeFiles/table3_nf_matrix.dir/table3_nf_matrix.cpp.o.d"
+  "table3_nf_matrix"
+  "table3_nf_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_nf_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

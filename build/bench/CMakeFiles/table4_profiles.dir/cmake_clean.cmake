@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_profiles.dir/table4_profiles.cpp.o"
+  "CMakeFiles/table4_profiles.dir/table4_profiles.cpp.o.d"
+  "table4_profiles"
+  "table4_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover.dir/failover.cpp.o"
+  "CMakeFiles/failover.dir/failover.cpp.o.d"
+  "failover"
+  "failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

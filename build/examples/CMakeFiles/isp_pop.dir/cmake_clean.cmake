@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_pop.dir/isp_pop.cpp.o"
+  "CMakeFiles/isp_pop.dir/isp_pop.cpp.o.d"
+  "isp_pop"
+  "isp_pop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_pop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

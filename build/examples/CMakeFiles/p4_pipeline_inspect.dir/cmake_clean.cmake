@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_pipeline_inspect.dir/p4_pipeline_inspect.cpp.o"
+  "CMakeFiles/p4_pipeline_inspect.dir/p4_pipeline_inspect.cpp.o.d"
+  "p4_pipeline_inspect"
+  "p4_pipeline_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_pipeline_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

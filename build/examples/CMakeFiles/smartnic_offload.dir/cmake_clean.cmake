@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartnic_offload.dir/smartnic_offload.cpp.o"
+  "CMakeFiles/smartnic_offload.dir/smartnic_offload.cpp.o.d"
+  "smartnic_offload"
+  "smartnic_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartnic_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

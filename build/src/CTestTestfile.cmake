@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("solver")
+subdirs("topo")
+subdirs("pisa")
+subdirs("bess")
+subdirs("nic")
+subdirs("openflow")
+subdirs("nf")
+subdirs("chain")
+subdirs("placer")
+subdirs("metacompiler")
+subdirs("runtime")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bess/dataplane.cpp" "src/bess/CMakeFiles/lemur_bess.dir/dataplane.cpp.o" "gcc" "src/bess/CMakeFiles/lemur_bess.dir/dataplane.cpp.o.d"
+  "/root/repo/src/bess/module.cpp" "src/bess/CMakeFiles/lemur_bess.dir/module.cpp.o" "gcc" "src/bess/CMakeFiles/lemur_bess.dir/module.cpp.o.d"
+  "/root/repo/src/bess/nsh_modules.cpp" "src/bess/CMakeFiles/lemur_bess.dir/nsh_modules.cpp.o" "gcc" "src/bess/CMakeFiles/lemur_bess.dir/nsh_modules.cpp.o.d"
+  "/root/repo/src/bess/port.cpp" "src/bess/CMakeFiles/lemur_bess.dir/port.cpp.o" "gcc" "src/bess/CMakeFiles/lemur_bess.dir/port.cpp.o.d"
+  "/root/repo/src/bess/queue.cpp" "src/bess/CMakeFiles/lemur_bess.dir/queue.cpp.o" "gcc" "src/bess/CMakeFiles/lemur_bess.dir/queue.cpp.o.d"
+  "/root/repo/src/bess/scheduler.cpp" "src/bess/CMakeFiles/lemur_bess.dir/scheduler.cpp.o" "gcc" "src/bess/CMakeFiles/lemur_bess.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_bess.dir/dataplane.cpp.o"
+  "CMakeFiles/lemur_bess.dir/dataplane.cpp.o.d"
+  "CMakeFiles/lemur_bess.dir/module.cpp.o"
+  "CMakeFiles/lemur_bess.dir/module.cpp.o.d"
+  "CMakeFiles/lemur_bess.dir/nsh_modules.cpp.o"
+  "CMakeFiles/lemur_bess.dir/nsh_modules.cpp.o.d"
+  "CMakeFiles/lemur_bess.dir/port.cpp.o"
+  "CMakeFiles/lemur_bess.dir/port.cpp.o.d"
+  "CMakeFiles/lemur_bess.dir/queue.cpp.o"
+  "CMakeFiles/lemur_bess.dir/queue.cpp.o.d"
+  "CMakeFiles/lemur_bess.dir/scheduler.cpp.o"
+  "CMakeFiles/lemur_bess.dir/scheduler.cpp.o.d"
+  "liblemur_bess.a"
+  "liblemur_bess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_bess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

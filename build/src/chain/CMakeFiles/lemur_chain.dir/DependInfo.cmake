@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/canonical.cpp" "src/chain/CMakeFiles/lemur_chain.dir/canonical.cpp.o" "gcc" "src/chain/CMakeFiles/lemur_chain.dir/canonical.cpp.o.d"
+  "/root/repo/src/chain/lexer.cpp" "src/chain/CMakeFiles/lemur_chain.dir/lexer.cpp.o" "gcc" "src/chain/CMakeFiles/lemur_chain.dir/lexer.cpp.o.d"
+  "/root/repo/src/chain/nf_graph.cpp" "src/chain/CMakeFiles/lemur_chain.dir/nf_graph.cpp.o" "gcc" "src/chain/CMakeFiles/lemur_chain.dir/nf_graph.cpp.o.d"
+  "/root/repo/src/chain/parser.cpp" "src/chain/CMakeFiles/lemur_chain.dir/parser.cpp.o" "gcc" "src/chain/CMakeFiles/lemur_chain.dir/parser.cpp.o.d"
+  "/root/repo/src/chain/slo.cpp" "src/chain/CMakeFiles/lemur_chain.dir/slo.cpp.o" "gcc" "src/chain/CMakeFiles/lemur_chain.dir/slo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nf/CMakeFiles/lemur_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bess/CMakeFiles/lemur_bess.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/lemur_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/lemur_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_chain.dir/canonical.cpp.o"
+  "CMakeFiles/lemur_chain.dir/canonical.cpp.o.d"
+  "CMakeFiles/lemur_chain.dir/lexer.cpp.o"
+  "CMakeFiles/lemur_chain.dir/lexer.cpp.o.d"
+  "CMakeFiles/lemur_chain.dir/nf_graph.cpp.o"
+  "CMakeFiles/lemur_chain.dir/nf_graph.cpp.o.d"
+  "CMakeFiles/lemur_chain.dir/parser.cpp.o"
+  "CMakeFiles/lemur_chain.dir/parser.cpp.o.d"
+  "CMakeFiles/lemur_chain.dir/slo.cpp.o"
+  "CMakeFiles/lemur_chain.dir/slo.cpp.o.d"
+  "liblemur_chain.a"
+  "liblemur_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

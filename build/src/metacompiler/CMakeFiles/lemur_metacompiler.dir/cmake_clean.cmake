@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_metacompiler.dir/bess_plan.cpp.o"
+  "CMakeFiles/lemur_metacompiler.dir/bess_plan.cpp.o.d"
+  "CMakeFiles/lemur_metacompiler.dir/metacompiler.cpp.o"
+  "CMakeFiles/lemur_metacompiler.dir/metacompiler.cpp.o.d"
+  "CMakeFiles/lemur_metacompiler.dir/p4_compose.cpp.o"
+  "CMakeFiles/lemur_metacompiler.dir/p4_compose.cpp.o.d"
+  "CMakeFiles/lemur_metacompiler.dir/pisa_oracle.cpp.o"
+  "CMakeFiles/lemur_metacompiler.dir/pisa_oracle.cpp.o.d"
+  "CMakeFiles/lemur_metacompiler.dir/segments.cpp.o"
+  "CMakeFiles/lemur_metacompiler.dir/segments.cpp.o.d"
+  "liblemur_metacompiler.a"
+  "liblemur_metacompiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_metacompiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/lemur_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/lemur_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/batch.cpp" "src/net/CMakeFiles/lemur_net.dir/batch.cpp.o" "gcc" "src/net/CMakeFiles/lemur_net.dir/batch.cpp.o.d"
+  "/root/repo/src/net/bytes.cpp" "src/net/CMakeFiles/lemur_net.dir/bytes.cpp.o" "gcc" "src/net/CMakeFiles/lemur_net.dir/bytes.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/lemur_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/lemur_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/lemur_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/lemur_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/lemur_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/lemur_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/lemur_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/lemur_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/packet_builder.cpp" "src/net/CMakeFiles/lemur_net.dir/packet_builder.cpp.o" "gcc" "src/net/CMakeFiles/lemur_net.dir/packet_builder.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/lemur_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/lemur_net.dir/pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

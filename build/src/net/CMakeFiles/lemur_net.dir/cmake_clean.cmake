@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_net.dir/addr.cpp.o"
+  "CMakeFiles/lemur_net.dir/addr.cpp.o.d"
+  "CMakeFiles/lemur_net.dir/batch.cpp.o"
+  "CMakeFiles/lemur_net.dir/batch.cpp.o.d"
+  "CMakeFiles/lemur_net.dir/bytes.cpp.o"
+  "CMakeFiles/lemur_net.dir/bytes.cpp.o.d"
+  "CMakeFiles/lemur_net.dir/checksum.cpp.o"
+  "CMakeFiles/lemur_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/lemur_net.dir/flow.cpp.o"
+  "CMakeFiles/lemur_net.dir/flow.cpp.o.d"
+  "CMakeFiles/lemur_net.dir/headers.cpp.o"
+  "CMakeFiles/lemur_net.dir/headers.cpp.o.d"
+  "CMakeFiles/lemur_net.dir/packet.cpp.o"
+  "CMakeFiles/lemur_net.dir/packet.cpp.o.d"
+  "CMakeFiles/lemur_net.dir/packet_builder.cpp.o"
+  "CMakeFiles/lemur_net.dir/packet_builder.cpp.o.d"
+  "CMakeFiles/lemur_net.dir/pcap.cpp.o"
+  "CMakeFiles/lemur_net.dir/pcap.cpp.o.d"
+  "liblemur_net.a"
+  "liblemur_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_crypto.dir/crypto/aes128.cpp.o"
+  "CMakeFiles/lemur_crypto.dir/crypto/aes128.cpp.o.d"
+  "CMakeFiles/lemur_crypto.dir/crypto/chacha20.cpp.o"
+  "CMakeFiles/lemur_crypto.dir/crypto/chacha20.cpp.o.d"
+  "liblemur_crypto.a"
+  "liblemur_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

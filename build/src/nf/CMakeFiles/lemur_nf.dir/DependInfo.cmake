@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/ebpf/ebpf_nfs.cpp" "src/nf/CMakeFiles/lemur_nf.dir/ebpf/ebpf_nfs.cpp.o" "gcc" "src/nf/CMakeFiles/lemur_nf.dir/ebpf/ebpf_nfs.cpp.o.d"
+  "/root/repo/src/nf/nf_spec.cpp" "src/nf/CMakeFiles/lemur_nf.dir/nf_spec.cpp.o" "gcc" "src/nf/CMakeFiles/lemur_nf.dir/nf_spec.cpp.o.d"
+  "/root/repo/src/nf/p4/p4_nfs.cpp" "src/nf/CMakeFiles/lemur_nf.dir/p4/p4_nfs.cpp.o" "gcc" "src/nf/CMakeFiles/lemur_nf.dir/p4/p4_nfs.cpp.o.d"
+  "/root/repo/src/nf/software/crypto_nfs.cpp" "src/nf/CMakeFiles/lemur_nf.dir/software/crypto_nfs.cpp.o" "gcc" "src/nf/CMakeFiles/lemur_nf.dir/software/crypto_nfs.cpp.o.d"
+  "/root/repo/src/nf/software/factory.cpp" "src/nf/CMakeFiles/lemur_nf.dir/software/factory.cpp.o" "gcc" "src/nf/CMakeFiles/lemur_nf.dir/software/factory.cpp.o.d"
+  "/root/repo/src/nf/software/header_nfs.cpp" "src/nf/CMakeFiles/lemur_nf.dir/software/header_nfs.cpp.o" "gcc" "src/nf/CMakeFiles/lemur_nf.dir/software/header_nfs.cpp.o.d"
+  "/root/repo/src/nf/software/payload_nfs.cpp" "src/nf/CMakeFiles/lemur_nf.dir/software/payload_nfs.cpp.o" "gcc" "src/nf/CMakeFiles/lemur_nf.dir/software/payload_nfs.cpp.o.d"
+  "/root/repo/src/nf/software/software_nf.cpp" "src/nf/CMakeFiles/lemur_nf.dir/software/software_nf.cpp.o" "gcc" "src/nf/CMakeFiles/lemur_nf.dir/software/software_nf.cpp.o.d"
+  "/root/repo/src/nf/software/stateful_nfs.cpp" "src/nf/CMakeFiles/lemur_nf.dir/software/stateful_nfs.cpp.o" "gcc" "src/nf/CMakeFiles/lemur_nf.dir/software/stateful_nfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bess/CMakeFiles/lemur_bess.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/lemur_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/lemur_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

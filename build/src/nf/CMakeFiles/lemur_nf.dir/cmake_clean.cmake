@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_nf.dir/ebpf/ebpf_nfs.cpp.o"
+  "CMakeFiles/lemur_nf.dir/ebpf/ebpf_nfs.cpp.o.d"
+  "CMakeFiles/lemur_nf.dir/nf_spec.cpp.o"
+  "CMakeFiles/lemur_nf.dir/nf_spec.cpp.o.d"
+  "CMakeFiles/lemur_nf.dir/p4/p4_nfs.cpp.o"
+  "CMakeFiles/lemur_nf.dir/p4/p4_nfs.cpp.o.d"
+  "CMakeFiles/lemur_nf.dir/software/crypto_nfs.cpp.o"
+  "CMakeFiles/lemur_nf.dir/software/crypto_nfs.cpp.o.d"
+  "CMakeFiles/lemur_nf.dir/software/factory.cpp.o"
+  "CMakeFiles/lemur_nf.dir/software/factory.cpp.o.d"
+  "CMakeFiles/lemur_nf.dir/software/header_nfs.cpp.o"
+  "CMakeFiles/lemur_nf.dir/software/header_nfs.cpp.o.d"
+  "CMakeFiles/lemur_nf.dir/software/payload_nfs.cpp.o"
+  "CMakeFiles/lemur_nf.dir/software/payload_nfs.cpp.o.d"
+  "CMakeFiles/lemur_nf.dir/software/software_nf.cpp.o"
+  "CMakeFiles/lemur_nf.dir/software/software_nf.cpp.o.d"
+  "CMakeFiles/lemur_nf.dir/software/stateful_nfs.cpp.o"
+  "CMakeFiles/lemur_nf.dir/software/stateful_nfs.cpp.o.d"
+  "liblemur_nf.a"
+  "liblemur_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/assembler.cpp" "src/nic/CMakeFiles/lemur_nic.dir/assembler.cpp.o" "gcc" "src/nic/CMakeFiles/lemur_nic.dir/assembler.cpp.o.d"
+  "/root/repo/src/nic/interpreter.cpp" "src/nic/CMakeFiles/lemur_nic.dir/interpreter.cpp.o" "gcc" "src/nic/CMakeFiles/lemur_nic.dir/interpreter.cpp.o.d"
+  "/root/repo/src/nic/smartnic.cpp" "src/nic/CMakeFiles/lemur_nic.dir/smartnic.cpp.o" "gcc" "src/nic/CMakeFiles/lemur_nic.dir/smartnic.cpp.o.d"
+  "/root/repo/src/nic/verifier.cpp" "src/nic/CMakeFiles/lemur_nic.dir/verifier.cpp.o" "gcc" "src/nic/CMakeFiles/lemur_nic.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

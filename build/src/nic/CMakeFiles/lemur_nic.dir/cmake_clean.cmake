@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_nic.dir/assembler.cpp.o"
+  "CMakeFiles/lemur_nic.dir/assembler.cpp.o.d"
+  "CMakeFiles/lemur_nic.dir/interpreter.cpp.o"
+  "CMakeFiles/lemur_nic.dir/interpreter.cpp.o.d"
+  "CMakeFiles/lemur_nic.dir/smartnic.cpp.o"
+  "CMakeFiles/lemur_nic.dir/smartnic.cpp.o.d"
+  "CMakeFiles/lemur_nic.dir/verifier.cpp.o"
+  "CMakeFiles/lemur_nic.dir/verifier.cpp.o.d"
+  "liblemur_nic.a"
+  "liblemur_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_openflow.dir/of_nfs.cpp.o"
+  "CMakeFiles/lemur_openflow.dir/of_nfs.cpp.o.d"
+  "CMakeFiles/lemur_openflow.dir/of_switch.cpp.o"
+  "CMakeFiles/lemur_openflow.dir/of_switch.cpp.o.d"
+  "liblemur_openflow.a"
+  "liblemur_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

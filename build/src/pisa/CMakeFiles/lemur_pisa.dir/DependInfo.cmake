@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pisa/compiler.cpp" "src/pisa/CMakeFiles/lemur_pisa.dir/compiler.cpp.o" "gcc" "src/pisa/CMakeFiles/lemur_pisa.dir/compiler.cpp.o.d"
+  "/root/repo/src/pisa/p4_ir.cpp" "src/pisa/CMakeFiles/lemur_pisa.dir/p4_ir.cpp.o" "gcc" "src/pisa/CMakeFiles/lemur_pisa.dir/p4_ir.cpp.o.d"
+  "/root/repo/src/pisa/p4_printer.cpp" "src/pisa/CMakeFiles/lemur_pisa.dir/p4_printer.cpp.o" "gcc" "src/pisa/CMakeFiles/lemur_pisa.dir/p4_printer.cpp.o.d"
+  "/root/repo/src/pisa/phv.cpp" "src/pisa/CMakeFiles/lemur_pisa.dir/phv.cpp.o" "gcc" "src/pisa/CMakeFiles/lemur_pisa.dir/phv.cpp.o.d"
+  "/root/repo/src/pisa/switch_sim.cpp" "src/pisa/CMakeFiles/lemur_pisa.dir/switch_sim.cpp.o" "gcc" "src/pisa/CMakeFiles/lemur_pisa.dir/switch_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

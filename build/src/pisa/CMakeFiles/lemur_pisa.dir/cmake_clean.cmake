@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_pisa.dir/compiler.cpp.o"
+  "CMakeFiles/lemur_pisa.dir/compiler.cpp.o.d"
+  "CMakeFiles/lemur_pisa.dir/p4_ir.cpp.o"
+  "CMakeFiles/lemur_pisa.dir/p4_ir.cpp.o.d"
+  "CMakeFiles/lemur_pisa.dir/p4_printer.cpp.o"
+  "CMakeFiles/lemur_pisa.dir/p4_printer.cpp.o.d"
+  "CMakeFiles/lemur_pisa.dir/phv.cpp.o"
+  "CMakeFiles/lemur_pisa.dir/phv.cpp.o.d"
+  "CMakeFiles/lemur_pisa.dir/switch_sim.cpp.o"
+  "CMakeFiles/lemur_pisa.dir/switch_sim.cpp.o.d"
+  "liblemur_pisa.a"
+  "liblemur_pisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_pisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

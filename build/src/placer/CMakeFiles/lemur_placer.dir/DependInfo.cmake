@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placer/core_alloc.cpp" "src/placer/CMakeFiles/lemur_placer.dir/core_alloc.cpp.o" "gcc" "src/placer/CMakeFiles/lemur_placer.dir/core_alloc.cpp.o.d"
+  "/root/repo/src/placer/evaluate.cpp" "src/placer/CMakeFiles/lemur_placer.dir/evaluate.cpp.o" "gcc" "src/placer/CMakeFiles/lemur_placer.dir/evaluate.cpp.o.d"
+  "/root/repo/src/placer/oracle.cpp" "src/placer/CMakeFiles/lemur_placer.dir/oracle.cpp.o" "gcc" "src/placer/CMakeFiles/lemur_placer.dir/oracle.cpp.o.d"
+  "/root/repo/src/placer/pattern.cpp" "src/placer/CMakeFiles/lemur_placer.dir/pattern.cpp.o" "gcc" "src/placer/CMakeFiles/lemur_placer.dir/pattern.cpp.o.d"
+  "/root/repo/src/placer/placer.cpp" "src/placer/CMakeFiles/lemur_placer.dir/placer.cpp.o" "gcc" "src/placer/CMakeFiles/lemur_placer.dir/placer.cpp.o.d"
+  "/root/repo/src/placer/profile.cpp" "src/placer/CMakeFiles/lemur_placer.dir/profile.cpp.o" "gcc" "src/placer/CMakeFiles/lemur_placer.dir/profile.cpp.o.d"
+  "/root/repo/src/placer/types.cpp" "src/placer/CMakeFiles/lemur_placer.dir/types.cpp.o" "gcc" "src/placer/CMakeFiles/lemur_placer.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/lemur_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lemur_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/lemur_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bess/CMakeFiles/lemur_bess.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/lemur_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/lemur_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_placer.dir/core_alloc.cpp.o"
+  "CMakeFiles/lemur_placer.dir/core_alloc.cpp.o.d"
+  "CMakeFiles/lemur_placer.dir/evaluate.cpp.o"
+  "CMakeFiles/lemur_placer.dir/evaluate.cpp.o.d"
+  "CMakeFiles/lemur_placer.dir/oracle.cpp.o"
+  "CMakeFiles/lemur_placer.dir/oracle.cpp.o.d"
+  "CMakeFiles/lemur_placer.dir/pattern.cpp.o"
+  "CMakeFiles/lemur_placer.dir/pattern.cpp.o.d"
+  "CMakeFiles/lemur_placer.dir/placer.cpp.o"
+  "CMakeFiles/lemur_placer.dir/placer.cpp.o.d"
+  "CMakeFiles/lemur_placer.dir/profile.cpp.o"
+  "CMakeFiles/lemur_placer.dir/profile.cpp.o.d"
+  "CMakeFiles/lemur_placer.dir/types.cpp.o"
+  "CMakeFiles/lemur_placer.dir/types.cpp.o.d"
+  "liblemur_placer.a"
+  "liblemur_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

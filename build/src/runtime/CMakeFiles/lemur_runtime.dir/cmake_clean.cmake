@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_runtime.dir/testbed.cpp.o"
+  "CMakeFiles/lemur_runtime.dir/testbed.cpp.o.d"
+  "CMakeFiles/lemur_runtime.dir/traffic.cpp.o"
+  "CMakeFiles/lemur_runtime.dir/traffic.cpp.o.d"
+  "liblemur_runtime.a"
+  "liblemur_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

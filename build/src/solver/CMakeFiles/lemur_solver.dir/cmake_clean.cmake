@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_solver.dir/lp.cpp.o"
+  "CMakeFiles/lemur_solver.dir/lp.cpp.o.d"
+  "liblemur_solver.a"
+  "liblemur_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_topo.dir/topology.cpp.o"
+  "CMakeFiles/lemur_topo.dir/topology.cpp.o.d"
+  "liblemur_topo.a"
+  "liblemur_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bess_test.dir/bess_test.cpp.o"
+  "CMakeFiles/bess_test.dir/bess_test.cpp.o.d"
+  "bess_test"
+  "bess_test.pdb"
+  "bess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

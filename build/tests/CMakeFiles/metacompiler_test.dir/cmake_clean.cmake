@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacompiler_test.dir/metacompiler_test.cpp.o"
+  "CMakeFiles/metacompiler_test.dir/metacompiler_test.cpp.o.d"
+  "metacompiler_test"
+  "metacompiler_test.pdb"
+  "metacompiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacompiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

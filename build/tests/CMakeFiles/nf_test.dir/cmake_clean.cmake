@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_test.dir/nf_test.cpp.o"
+  "CMakeFiles/nf_test.dir/nf_test.cpp.o.d"
+  "nf_test"
+  "nf_test.pdb"
+  "nf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

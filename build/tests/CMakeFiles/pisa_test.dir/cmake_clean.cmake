@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisa_test.dir/pisa_test.cpp.o"
+  "CMakeFiles/pisa_test.dir/pisa_test.cpp.o.d"
+  "pisa_test"
+  "pisa_test.pdb"
+  "pisa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

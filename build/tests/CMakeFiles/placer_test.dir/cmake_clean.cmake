@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placer_test.dir/placer_test.cpp.o"
+  "CMakeFiles/placer_test.dir/placer_test.cpp.o.d"
+  "placer_test"
+  "placer_test.pdb"
+  "placer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_parity_test.dir/platform_parity_test.cpp.o"
+  "CMakeFiles/platform_parity_test.dir/platform_parity_test.cpp.o.d"
+  "platform_parity_test"
+  "platform_parity_test.pdb"
+  "platform_parity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

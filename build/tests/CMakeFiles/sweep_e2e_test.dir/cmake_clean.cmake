@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_e2e_test.dir/sweep_e2e_test.cpp.o"
+  "CMakeFiles/sweep_e2e_test.dir/sweep_e2e_test.cpp.o.d"
+  "sweep_e2e_test"
+  "sweep_e2e_test.pdb"
+  "sweep_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/pisa_test[1]_include.cmake")
+include("/root/repo/build/tests/bess_test[1]_include.cmake")
+include("/root/repo/build/tests/nf_test[1]_include.cmake")
+include("/root/repo/build/tests/nic_test[1]_include.cmake")
+include("/root/repo/build/tests/openflow_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/placer_test[1]_include.cmake")
+include("/root/repo/build/tests/metacompiler_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_parity_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/nf_depth_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")

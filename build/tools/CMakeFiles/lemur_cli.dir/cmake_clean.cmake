@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_cli.dir/lemur_cli.cpp.o"
+  "CMakeFiles/lemur_cli.dir/lemur_cli.cpp.o.d"
+  "lemur_cli"
+  "lemur_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
