@@ -267,6 +267,7 @@ bench/CMakeFiles/fig3c_openflow.dir/fig3c_openflow.cpp.o: \
  /root/repo/src/nf/software/software_nf.h \
  /root/repo/src/nf/ebpf/ebpf_nfs.h /root/repo/src/nic/ebpf_isa.h \
  /root/repo/src/openflow/of_nfs.h /root/repo/src/openflow/of_switch.h \
- /root/repo/src/nic/smartnic.h /root/repo/src/nic/interpreter.h \
- /root/repo/src/nic/verifier.h /root/repo/src/runtime/traffic.h \
- /root/repo/src/net/packet_builder.h /root/repo/src/net/flow.h
+ /root/repo/src/verify/diagnostics.h /root/repo/src/nic/smartnic.h \
+ /root/repo/src/nic/interpreter.h /root/repo/src/nic/verifier.h \
+ /root/repo/src/runtime/traffic.h /root/repo/src/net/packet_builder.h \
+ /root/repo/src/net/flow.h

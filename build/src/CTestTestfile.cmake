@@ -15,4 +15,5 @@ subdirs("nf")
 subdirs("chain")
 subdirs("placer")
 subdirs("metacompiler")
+subdirs("verify")
 subdirs("runtime")

@@ -255,6 +255,6 @@ src/metacompiler/CMakeFiles/lemur_metacompiler.dir/metacompiler.cpp.o: \
  /root/repo/src/pisa/p4_ir.h /root/repo/src/pisa/phv.h \
  /root/repo/src/nf/ebpf/ebpf_nfs.h /root/repo/src/nic/ebpf_isa.h \
  /root/repo/src/openflow/of_nfs.h /root/repo/src/openflow/of_switch.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/verify/diagnostics.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/verify/verifier.h

@@ -15,17 +15,18 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/metacompiler/CMakeFiles/lemur_metacompiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/lemur_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/bess/CMakeFiles/lemur_bess.dir/DependInfo.cmake"
   "/root/repo/build/src/nic/CMakeFiles/lemur_nic.dir/DependInfo.cmake"
   "/root/repo/build/src/openflow/CMakeFiles/lemur_openflow.dir/DependInfo.cmake"
   "/root/repo/build/src/pisa/CMakeFiles/lemur_pisa.dir/DependInfo.cmake"
   "/root/repo/build/src/nf/CMakeFiles/lemur_nf.dir/DependInfo.cmake"
   "/root/repo/build/src/placer/CMakeFiles/lemur_placer.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lemur_solver.dir/DependInfo.cmake"
   "/root/repo/build/src/chain/CMakeFiles/lemur_chain.dir/DependInfo.cmake"
-  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
   "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
-  "/root/repo/build/src/solver/CMakeFiles/lemur_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

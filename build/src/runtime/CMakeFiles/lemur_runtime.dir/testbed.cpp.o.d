@@ -266,12 +266,13 @@ src/runtime/CMakeFiles/lemur_runtime.dir/testbed.cpp.o: \
  /root/repo/src/pisa/p4_ir.h /root/repo/src/pisa/phv.h \
  /root/repo/src/nf/ebpf/ebpf_nfs.h /root/repo/src/nic/ebpf_isa.h \
  /root/repo/src/openflow/of_nfs.h /root/repo/src/openflow/of_switch.h \
- /root/repo/src/nic/smartnic.h /root/repo/src/nic/interpreter.h \
- /root/repo/src/nic/verifier.h /root/repo/src/runtime/traffic.h \
- /root/repo/src/net/packet_builder.h /root/repo/src/net/flow.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/verify/diagnostics.h /root/repo/src/nic/smartnic.h \
+ /root/repo/src/nic/interpreter.h /root/repo/src/nic/verifier.h \
+ /root/repo/src/runtime/traffic.h /root/repo/src/net/packet_builder.h \
+ /root/repo/src/net/flow.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/nf/software/crypto_nfs.h \
  /root/repo/src/nf/crypto/aes128.h /root/repo/src/nf/crypto/chacha20.h \
- /root/repo/src/nf/software/factory.h
+ /root/repo/src/nf/software/factory.h /root/repo/src/verify/verifier.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_verify.dir/diagnostics.cpp.o"
+  "CMakeFiles/lemur_verify.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/lemur_verify.dir/verifier.cpp.o"
+  "CMakeFiles/lemur_verify.dir/verifier.cpp.o.d"
+  "liblemur_verify.a"
+  "liblemur_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

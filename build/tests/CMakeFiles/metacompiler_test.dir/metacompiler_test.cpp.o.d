@@ -336,6 +336,7 @@ tests/CMakeFiles/metacompiler_test.dir/metacompiler_test.cpp.o: \
  /root/repo/src/pisa/p4_ir.h /root/repo/src/pisa/phv.h \
  /root/repo/src/nf/ebpf/ebpf_nfs.h /root/repo/src/nic/ebpf_isa.h \
  /root/repo/src/openflow/of_nfs.h /root/repo/src/openflow/of_switch.h \
+ /root/repo/src/verify/diagnostics.h \
  /root/repo/src/metacompiler/pisa_oracle.h /root/repo/src/placer/oracle.h \
  /root/repo/src/nic/verifier.h /root/repo/src/placer/placer.h \
  /root/repo/src/placer/core_alloc.h /root/repo/src/placer/evaluate.h

@@ -4,3 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(tool_lemur_cli_verify "/root/repo/build/tools/lemur_cli" "verify" "--chain" "2" "--delta" "0.5")
+set_tests_properties(tool_lemur_cli_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_lemur_cli_verify_openflow "/root/repo/build/tools/lemur_cli" "verify" "--chain" "1" "--chain" "3" "--openflow" "--no-pisa-nfs" "--delta" "0.5")
+set_tests_properties(tool_lemur_cli_verify_openflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")

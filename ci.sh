@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI entry point: build + test twice — a normal RelWithDebInfo build and
+# an ASan/UBSan build (-DLEMUR_SANITIZE="address;undefined") — failing on
+# any compiler warning in either. src/verify additionally builds with
+# -Werror (see src/verify/CMakeLists.txt).
+#
+# Usage: ./ci.sh [jobs]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")" && pwd)"
+jobs="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "==== [$name] configure ===="
+  cmake -B "$build_dir" -S "$repo_root" "$@"
+  echo "==== [$name] build ===="
+  local log
+  log="$(mktemp)"
+  if ! cmake --build "$build_dir" -j "$jobs" 2>&1 | tee "$log"; then
+    rm -f "$log"
+    echo "==== [$name] BUILD FAILED ===="
+    return 1
+  fi
+  if grep -E "warning:" "$log" >/dev/null; then
+    echo "==== [$name] FAILED: compiler warnings ===="
+    grep -E "warning:" "$log"
+    rm -f "$log"
+    return 1
+  fi
+  rm -f "$log"
+  echo "==== [$name] ctest ===="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+run_config normal "$repo_root/build"
+run_config sanitize "$repo_root/build-sanitize" \
+  -DLEMUR_SANITIZE="address;undefined"
+
+echo "==== CI OK: both configurations green ===="

@@ -2,11 +2,15 @@
 
 #include <sstream>
 
+#include "src/pisa/compiler.h"
+#include "src/verify/verifier.h"
+
 namespace lemur::metacompiler {
 
 CompiledArtifacts compile(const std::vector<chain::ChainSpec>& chains,
                           const placer::PlacementResult& placement,
-                          const topo::Topology& topo) {
+                          const topo::Topology& topo,
+                          const CompileOptions& options) {
   CompiledArtifacts out;
   if (!placement.feasible) {
     out.error = "placement is infeasible: " + placement.infeasible_reason;
@@ -31,6 +35,9 @@ CompiledArtifacts compile(const std::vector<chain::ChainSpec>& chains,
     out.error = "P4 composition failed: " + out.p4.error;
     return out;
   }
+  // Stage the unified program against the deployment ToR now, so the
+  // verifier (and operators) can audit stages/memory before deployment.
+  out.p4.compiled = pisa::compile(out.p4.program, topo.tor);
 
   // Per-server BESS plans.
   out.server_plans =
@@ -99,10 +106,16 @@ CompiledArtifacts compile(const std::vector<chain::ChainSpec>& chains,
         artifact.spi_out = next_entry->spi;
         artifact.si_out = next_entry->si;
       }
-      artifact.vid_in = openflow::pack_spi_si(
-          static_cast<std::uint8_t>(artifact.spi_in), artifact.si_in);
-      artifact.vid_out = openflow::pack_spi_si(
-          static_cast<std::uint8_t>(artifact.spi_out), artifact.si_out);
+      // Checked packing: a service path that does not fit the 12-bit vid
+      // must never be wrapped onto the wire (section 5.3). vid 0 marks
+      // the encoding as unassigned; the verifier turns it into a hard
+      // error (handoff.vid-overflow) that blocks deployment.
+      artifact.vid_in =
+          openflow::checked_pack_spi_si(artifact.spi_in, artifact.si_in)
+              .value_or(0);
+      artifact.vid_out =
+          openflow::checked_pack_spi_si(artifact.spi_out, artifact.si_out)
+              .value_or(0);
       out.of_rules.push_back(std::move(artifact));
     }
   }
@@ -124,6 +137,9 @@ CompiledArtifacts compile(const std::vector<chain::ChainSpec>& chains,
   }
 
   out.ok = true;
+  if (options.run_verifier) {
+    out.verification = verify::verify_artifacts(chains, placement, out, topo);
+  }
   return out;
 }
 

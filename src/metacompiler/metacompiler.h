@@ -12,6 +12,7 @@
 #include "src/nf/ebpf/ebpf_nfs.h"
 #include "src/openflow/of_nfs.h"
 #include "src/placer/types.h"
+#include "src/verify/diagnostics.h"
 
 namespace lemur::metacompiler {
 
@@ -65,12 +66,26 @@ struct CompiledArtifacts {
     }
   };
   Loc loc;
+
+  /// Findings of the deployment verifier (compile -> verify -> deploy).
+  /// Populated by compile() unless verification was opted out; the
+  /// runtime refuses to deploy artifacts with error-severity findings.
+  verify::Report verification;
+};
+
+struct CompileOptions {
+  /// Run the static cross-platform consistency analysis (src/verify/)
+  /// over the freshly generated artifacts. On by default; opting out is
+  /// for callers that verify separately (e.g. the CLI's `verify`
+  /// subcommand) or deliberately build partial artifacts in tests.
+  bool run_verifier = true;
 };
 
 /// Compiles the placement into runnable artifacts. The placement must be
 /// feasible and its chain order must match `chains`.
 CompiledArtifacts compile(const std::vector<chain::ChainSpec>& chains,
                           const placer::PlacementResult& placement,
-                          const topo::Topology& topo);
+                          const topo::Topology& topo,
+                          const CompileOptions& options = {});
 
 }  // namespace lemur::metacompiler

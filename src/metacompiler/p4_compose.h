@@ -35,6 +35,11 @@ struct P4Artifact {
   pisa::P4Program program;
   /// Runtime entries to install: (mangled table name, entry).
   std::vector<std::pair<std::string, pisa::TableEntry>> entries;
+  /// The platform compiler's staging of `program` against the deployment
+  /// ToR, recorded by Metacompiler::compile so operators (and the
+  /// deployment verifier's independent re-audit) can inspect stage and
+  /// memory usage before anything is loaded.
+  pisa::CompileResult compiled;
   /// Lines of generated P4 attributable to coordination (steering,
   /// splitting, routing) vs. NF library code — the paper's
   /// "auto-generated code" accounting (section 5.3).

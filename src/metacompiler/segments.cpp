@@ -95,10 +95,14 @@ ChainRouting build_routing(const chain::ChainSpec& spec,
       // Whole connected P4 component executes in one switch traversal.
       uf.unite(e.from, e.to);
     } else if (a == Target::kServer) {
-      // Run-to-completion: only across linear hand-offs (matches the
-      // Placer's subgroup rule).
+      // Run-to-completion: only across linear hand-offs, and never across
+      // a branch/merge node (matches the Placer's subgroup rule in
+      // form_subgroups(); branch/merge nodes stay in singleton subgroups
+      // and may carry their own core assignments).
       if (graph.successors(e.from).size() == 1 &&
-          graph.predecessors(e.to).size() == 1) {
+          graph.predecessors(e.to).size() == 1 &&
+          !graph.is_branch_or_merge(e.from) &&
+          !graph.is_branch_or_merge(e.to)) {
         uf.unite(e.from, e.to);
       }
     }
@@ -122,19 +126,24 @@ ChainRouting build_routing(const chain::ChainSpec& spec,
   }
 
   // 2. Entries: nodes whose predecessors are outside the segment (or the
-  // chain source). Assign (SPI, SI): SI counts down from 255 in entry
-  // discovery order, like a real service path.
-  std::uint8_t next_si = 255;
-  for (auto& seg : out.segments) {
-    for (int id : seg.nodes) {
-      const auto preds = graph.predecessors(id);
-      bool is_entry = preds.empty();
-      for (int p : preds) {
-        if (!seg.contains(p)) is_entry = true;
-      }
-      if (is_entry) {
-        seg.entries.push_back(SegmentEntry{id, out.spi, next_si--});
-      }
+  // chain source). Assign (SPI, SI): SI counts down in *chain topological
+  // order* of the entry nodes, so the service index strictly decreases
+  // along every path — including paths that leave a multi-entry P4
+  // region and re-enter it further down. Starting at 63 keeps every
+  // (SPI, SI) losslessly encodable in the 12-bit OpenFlow VLAN vid
+  // (6 bits each, the paper's section 5.3 constraint); chains with more
+  // than 63 hand-off points are rejected by the deployment verifier.
+  std::uint8_t next_si = kInitialSi;
+  for (int id : order) {
+    const int seg_idx = out.segment_of(id);
+    auto& seg = out.segments[static_cast<std::size_t>(seg_idx)];
+    const auto preds = graph.predecessors(id);
+    bool is_entry = preds.empty();
+    for (int p : preds) {
+      if (!seg.contains(p)) is_entry = true;
+    }
+    if (is_entry) {
+      seg.entries.push_back(SegmentEntry{id, out.spi, next_si--});
     }
   }
 

@@ -20,10 +20,16 @@
 
 namespace lemur::metacompiler {
 
+/// First SI handed out per chain. SIs count down from here in chain
+/// topological order, so they strictly decrease along every path and —
+/// together with SPI < 64 — always fit the 6+6-bit OpenFlow VLAN vid
+/// encoding (section 5.3) without truncation.
+inline constexpr std::uint8_t kInitialSi = 63;
+
 struct SegmentEntry {
   int node = 0;           ///< Entry NF node id.
   std::uint32_t spi = 0;  ///< Service path index carried by packets.
-  std::uint8_t si = 255;  ///< Service index of this entry.
+  std::uint8_t si = kInitialSi;  ///< Service index of this entry.
 };
 
 struct SegmentExit {

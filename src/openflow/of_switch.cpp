@@ -53,6 +53,12 @@ std::pair<std::uint8_t, std::uint8_t> unpack_spi_si(std::uint16_t vid) {
           static_cast<std::uint8_t>(vid & 0x3f)};
 }
 
+std::optional<std::uint16_t> checked_pack_spi_si(std::uint32_t spi,
+                                                 std::uint8_t si) {
+  if (spi > 0x3f || si > 0x3f) return std::nullopt;
+  return pack_spi_si(static_cast<std::uint8_t>(spi), si);
+}
+
 namespace {
 
 bool action_allowed_in(OfTable table, OfAction::Kind kind) {

@@ -72,6 +72,14 @@ struct OfFlowRule {
 std::uint16_t pack_spi_si(std::uint8_t spi, std::uint8_t si);
 std::pair<std::uint8_t, std::uint8_t> unpack_spi_si(std::uint16_t vid);
 
+/// Checked packing for artifact generation: nullopt when either
+/// coordinate exceeds 6 bits, i.e. the vid cannot carry the full SPI/SI
+/// and decoding on the far side of the OF wire would be ambiguous. The
+/// metacompiler refuses to emit a wrapped vid; the deployment verifier
+/// turns the overflow into a hard error (rule handoff.vid-overflow).
+std::optional<std::uint16_t> checked_pack_spi_si(std::uint32_t spi,
+                                                 std::uint8_t si);
+
 class OpenFlowSwitch {
  public:
   explicit OpenFlowSwitch(topo::OpenFlowSwitchSpec spec)

@@ -5,6 +5,7 @@
 #include "src/nf/software/crypto_nfs.h"
 #include "src/nf/software/factory.h"
 #include "src/placer/profile.h"
+#include "src/verify/verifier.h"
 
 namespace lemur::runtime {
 
@@ -70,6 +71,26 @@ Testbed::Testbed(const std::vector<chain::ChainSpec>& chains,
       seed_(seed) {
   if (!artifacts.ok) {
     error_ = "artifacts not compiled: " + artifacts.error;
+    return;
+  }
+  // Re-run the deployment verifier on the artifacts as handed to us (not
+  // the report stored at compile time — artifacts may have been modified
+  // since). Error-severity findings mean misrouted traffic or
+  // overcommitted resources, so deployment is refused outright.
+  const auto report =
+      verify::verify_artifacts(chains, placement, artifacts, topo);
+  if (report.has_errors()) {
+    const auto* first = &report.diagnostics.front();
+    for (const auto& d : report.diagnostics) {
+      if (d.severity == verify::Severity::kError) {
+        first = &d;
+        break;
+      }
+    }
+    error_ = "deployment verifier found " +
+             std::to_string(report.count(verify::Severity::kError)) +
+             " error(s); first: [" + first->rule + "] " + first->locus +
+             ": " + first->message;
     return;
   }
   delivered_bytes_.assign(chains.size(), 0);

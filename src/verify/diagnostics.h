@@ -1,0 +1,53 @@
+// Structured diagnostics for the deployment verifier (the static
+// pre-deployment analysis pass that sits between the metacompiler and
+// the testbed). Kept free of metacompiler includes so artifact headers
+// can embed a Report without an include cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lemur::verify {
+
+enum class Severity { kInfo, kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+/// One finding of the verifier: which rule fired, where, and why.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;     ///< Stable rule id, e.g. "nsh.si-order".
+  std::string locus;    ///< Artifact locus, e.g. "chain 0 / segment 2".
+  std::string message;  ///< Human-readable explanation.
+};
+
+/// The verifier's output: every finding plus bookkeeping about the run.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+  int rules_checked = 0;  ///< Size of the rule catalogue that ran.
+
+  [[nodiscard]] bool has_errors() const;
+  [[nodiscard]] int count(Severity severity) const;
+  /// True when at least one finding carries the given rule id.
+  [[nodiscard]] bool fired(const std::string& rule) const;
+  /// First finding for `rule`, or nullptr.
+  [[nodiscard]] const Diagnostic* find(const std::string& rule) const;
+
+  void add(Severity severity, std::string rule, std::string locus,
+           std::string message);
+
+  /// Operator-facing rendering of the whole report.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One entry of the verifier's rule catalogue (for docs and the CLI).
+struct RuleInfo {
+  const char* id;
+  Severity severity;  ///< Severity the rule emits at.
+  const char* summary;
+};
+
+/// The full catalogue of rules verify_artifacts() evaluates.
+const std::vector<RuleInfo>& rule_catalogue();
+
+}  // namespace lemur::verify

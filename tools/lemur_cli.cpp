@@ -6,6 +6,12 @@
 //   lemur_cli --chain 1 --chain 3 --delta 1.0 --measure 10
 //   lemur_cli --spec my_chain.lemur --t-min 2 --print-p4
 //   lemur_cli --chain 5 --smartnic --strategy optimal
+//   lemur_cli verify --chain 2 --delta 0.5
+//
+// Subcommands:
+//   verify           compile the placement's artifacts and print the
+//                    deployment verifier's diagnostic report (exit 1 on
+//                    error-severity findings)
 //
 // Options:
 //   --spec FILE      chain spec file (dataflow language); repeatable
@@ -34,6 +40,7 @@
 #include "src/pisa/p4_printer.h"
 #include "src/placer/placer.h"
 #include "src/runtime/testbed.h"
+#include "src/verify/verifier.h"
 
 namespace {
 
@@ -56,6 +63,7 @@ struct CliOptions {
   std::string pcap_path;
   bool print_p4 = false;
   bool print_bess = false;
+  bool verify = false;
 };
 
 int usage(const char* argv0) {
@@ -85,7 +93,9 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--spec") {
+    if (arg == "verify" && i == 1) {
+      cli.verify = true;
+    } else if (arg == "--spec") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       cli.spec_files.push_back(v);
@@ -220,6 +230,21 @@ int main(int argc, char** argv) {
               placement.aggregate_gbps, placement.marginal_gbps(),
               placement.pisa_stages_used, placement.cores_used,
               placement.placement_seconds);
+
+  if (cli.verify) {
+    auto artifacts = metacompiler::compile(chains, placement, topo);
+    if (!artifacts.ok) {
+      std::printf("metacompiler error: %s\n", artifacts.error.c_str());
+      return 1;
+    }
+    std::printf("\ncompiled: %d P4 stage(s), %zu server plan(s), "
+                "%zu NIC program(s), %zu OF rule set(s)\n",
+                artifacts.p4.compiled.stats.stages_used,
+                artifacts.server_plans.size(),
+                artifacts.nic_programs.size(), artifacts.of_rules.size());
+    std::printf("%s", artifacts.verification.to_string().c_str());
+    return artifacts.verification.has_errors() ? 1 : 0;
+  }
 
   if (!cli.print_p4 && !cli.print_bess && cli.measure_ms <= 0) return 0;
 

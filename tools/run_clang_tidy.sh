@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the
+# project's own sources using the compile database that CMake exports
+# into the build directory (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [clang-tidy-args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not found on PATH; skipping lint" >&2
+  exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "no compile database at $build_dir/compile_commands.json;" \
+       "configure with: cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+# Project sources only — skip tests/benches (gtest macros are noisy
+# under bugprone-*) and anything outside the repo.
+mapfile -t files < <(cd "$repo_root" && \
+  find src tools examples -name '*.cpp' | sort)
+
+echo "clang-tidy over ${#files[@]} files..."
+status=0
+for f in "${files[@]}"; do
+  clang-tidy -p "$build_dir" --quiet "$@" "$repo_root/$f" || status=1
+done
+exit $status
