@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
   "/root/repo/build/src/verify/CMakeFiles/lemur_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lemur_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
   )
 

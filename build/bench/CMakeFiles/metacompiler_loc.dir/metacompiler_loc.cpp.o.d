@@ -136,6 +136,7 @@ bench/CMakeFiles/metacompiler_loc.dir/metacompiler_loc.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/placer/pattern.h /root/repo/src/placer/profile.h \
  /root/repo/src/placer/types.h /root/repo/src/chain/canonical.h \
  /root/repo/src/chain/nf_graph.h /root/repo/src/nf/nf_spec.h \
@@ -258,7 +259,6 @@ bench/CMakeFiles/metacompiler_loc.dir/metacompiler_loc.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/bess/module.h /root/repo/src/net/batch.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/bess/scheduler.h /root/repo/src/bess/port.h \
  /root/repo/src/bess/queue.h /root/repo/src/bess/nsh_modules.h \
  /root/repo/src/net/pcap.h /root/repo/src/metacompiler/metacompiler.h \
@@ -270,4 +270,7 @@ bench/CMakeFiles/metacompiler_loc.dir/metacompiler_loc.cpp.o: \
  /root/repo/src/verify/diagnostics.h /root/repo/src/nic/smartnic.h \
  /root/repo/src/nic/interpreter.h /root/repo/src/nic/verifier.h \
  /root/repo/src/runtime/traffic.h /root/repo/src/net/packet_builder.h \
- /root/repo/src/net/flow.h
+ /root/repo/src/net/flow.h /root/repo/src/telemetry/drops.h \
+ /root/repo/src/telemetry/measured_profile.h \
+ /root/repo/src/telemetry/metrics.h \
+ /root/repo/src/telemetry/slo_monitor.h /root/repo/src/telemetry/trace.h

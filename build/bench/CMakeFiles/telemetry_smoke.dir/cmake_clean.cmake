@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_smoke.dir/telemetry_smoke.cpp.o"
+  "CMakeFiles/telemetry_smoke.dir/telemetry_smoke.cpp.o.d"
+  "telemetry_smoke"
+  "telemetry_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -136,7 +136,8 @@ examples/CMakeFiles/p4_pipeline_inspect.dir/p4_pipeline_inspect.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/metacompiler/metacompiler.h \
  /root/repo/src/metacompiler/bess_plan.h \
- /root/repo/src/metacompiler/segments.h /root/repo/src/placer/pattern.h \
+ /root/repo/src/metacompiler/segments.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/placer/pattern.h \
  /root/repo/src/placer/profile.h /root/repo/src/placer/types.h \
  /root/repo/src/chain/canonical.h /root/repo/src/chain/slo.h \
  /usr/include/c++/12/limits /root/repo/src/topo/topology.h \
@@ -241,7 +242,6 @@ examples/CMakeFiles/p4_pipeline_inspect.dir/p4_pipeline_inspect.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/batch.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/net/packet.h /root/repo/src/net/headers.h \
  /root/repo/src/net/bytes.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \

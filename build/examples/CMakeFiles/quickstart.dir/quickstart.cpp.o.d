@@ -136,7 +136,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/metacompiler/pisa_oracle.h \
  /root/repo/src/metacompiler/p4_compose.h \
- /root/repo/src/metacompiler/segments.h /root/repo/src/placer/pattern.h \
+ /root/repo/src/metacompiler/segments.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/placer/pattern.h \
  /root/repo/src/placer/profile.h /root/repo/src/placer/types.h \
  /root/repo/src/chain/canonical.h /root/repo/src/chain/slo.h \
  /usr/include/c++/12/limits /root/repo/src/topo/topology.h \
@@ -258,7 +259,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/bess/module.h /root/repo/src/net/batch.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/bess/scheduler.h /root/repo/src/bess/port.h \
  /root/repo/src/bess/queue.h /root/repo/src/bess/nsh_modules.h \
  /root/repo/src/net/pcap.h /root/repo/src/metacompiler/metacompiler.h \
@@ -270,4 +270,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/verify/diagnostics.h /root/repo/src/nic/smartnic.h \
  /root/repo/src/nic/interpreter.h /root/repo/src/nic/verifier.h \
  /root/repo/src/runtime/traffic.h /root/repo/src/net/packet_builder.h \
- /root/repo/src/net/flow.h
+ /root/repo/src/net/flow.h /root/repo/src/telemetry/drops.h \
+ /root/repo/src/telemetry/measured_profile.h \
+ /root/repo/src/telemetry/metrics.h \
+ /root/repo/src/telemetry/slo_monitor.h /root/repo/src/telemetry/trace.h

@@ -16,4 +16,5 @@ subdirs("chain")
 subdirs("placer")
 subdirs("metacompiler")
 subdirs("verify")
+subdirs("telemetry")
 subdirs("runtime")

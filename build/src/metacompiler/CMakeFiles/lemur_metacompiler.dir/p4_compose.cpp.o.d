@@ -123,24 +123,25 @@ src/metacompiler/CMakeFiles/lemur_metacompiler.dir/p4_compose.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/metacompiler/segments.h /usr/include/c++/12/optional \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/placer/pattern.h /root/repo/src/placer/profile.h \
- /root/repo/src/placer/types.h /root/repo/src/chain/canonical.h \
- /root/repo/src/chain/nf_graph.h /root/repo/src/nf/nf_spec.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/metacompiler/segments.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/chain/slo.h \
- /usr/include/c++/12/limits /root/repo/src/topo/topology.h \
- /root/repo/src/pisa/switch_sim.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/placer/pattern.h /root/repo/src/placer/profile.h \
+ /root/repo/src/placer/types.h /root/repo/src/chain/canonical.h \
+ /root/repo/src/chain/nf_graph.h /root/repo/src/nf/nf_spec.h \
+ /root/repo/src/chain/slo.h /usr/include/c++/12/limits \
+ /root/repo/src/topo/topology.h /root/repo/src/pisa/switch_sim.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/net/packet.h \
  /root/repo/src/net/headers.h /root/repo/src/net/addr.h \

@@ -137,6 +137,7 @@ src/metacompiler/CMakeFiles/lemur_metacompiler.dir/pisa_oracle.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/placer/pattern.h /root/repo/src/placer/profile.h \
  /root/repo/src/placer/types.h /root/repo/src/chain/canonical.h \
  /root/repo/src/chain/nf_graph.h /root/repo/src/nf/nf_spec.h \

@@ -199,7 +199,12 @@ src/nf/CMakeFiles/lemur_nf.dir/software/factory.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/bess/module.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -235,13 +240,7 @@ src/nf/CMakeFiles/lemur_nf.dir/software/factory.cpp.o: \
  /usr/include/c++/12/array /root/repo/src/net/bytes.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/nf/nf_spec.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/nf/software/crypto_nfs.h \
+ /root/repo/src/nf/nf_spec.h /root/repo/src/nf/software/crypto_nfs.h \
  /root/repo/src/nf/crypto/aes128.h /root/repo/src/nf/crypto/chacha20.h \
  /root/repo/src/nf/software/header_nfs.h /root/repo/src/nf/lpm.h \
  /root/repo/src/nf/software/payload_nfs.h /usr/include/c++/12/deque \

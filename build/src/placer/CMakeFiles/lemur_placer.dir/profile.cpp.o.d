@@ -20,8 +20,7 @@ src/placer/CMakeFiles/lemur_placer.dir/profile.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /root/repo/src/placer/types.h /usr/include/c++/12/string \
- /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -122,9 +121,10 @@ src/placer/CMakeFiles/lemur_placer.dir/profile.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/chain/canonical.h \
- /root/repo/src/chain/nf_graph.h /usr/include/c++/12/optional \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/placer/types.h \
+ /root/repo/src/chain/canonical.h /root/repo/src/chain/nf_graph.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \

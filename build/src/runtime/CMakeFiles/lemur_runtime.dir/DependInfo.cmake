@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/metacompiler/CMakeFiles/lemur_metacompiler.dir/DependInfo.cmake"
   "/root/repo/build/src/verify/CMakeFiles/lemur_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lemur_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/bess/CMakeFiles/lemur_bess.dir/DependInfo.cmake"
   "/root/repo/build/src/nic/CMakeFiles/lemur_nic.dir/DependInfo.cmake"
   "/root/repo/build/src/openflow/CMakeFiles/lemur_openflow.dir/DependInfo.cmake"
@@ -24,9 +25,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/placer/CMakeFiles/lemur_placer.dir/DependInfo.cmake"
   "/root/repo/build/src/solver/CMakeFiles/lemur_solver.dir/DependInfo.cmake"
   "/root/repo/build/src/chain/CMakeFiles/lemur_chain.dir/DependInfo.cmake"
-  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
-  "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

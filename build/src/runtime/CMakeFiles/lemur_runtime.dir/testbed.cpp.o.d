@@ -241,7 +241,9 @@ src/runtime/CMakeFiles/lemur_runtime.dir/testbed.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/bess/module.h /root/repo/src/net/batch.h \
+ /root/repo/src/bess/module.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/batch.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/net/packet.h /usr/include/c++/12/optional \
  /root/repo/src/net/headers.h /root/repo/src/net/addr.h \
@@ -250,10 +252,7 @@ src/runtime/CMakeFiles/lemur_runtime.dir/testbed.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/src/bess/scheduler.h \
  /root/repo/src/bess/port.h /root/repo/src/bess/queue.h \
  /root/repo/src/topo/topology.h /root/repo/src/bess/nsh_modules.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/pcap.h \
- /root/repo/src/metacompiler/metacompiler.h \
+ /root/repo/src/net/pcap.h /root/repo/src/metacompiler/metacompiler.h \
  /root/repo/src/metacompiler/bess_plan.h \
  /root/repo/src/metacompiler/segments.h /root/repo/src/placer/pattern.h \
  /root/repo/src/placer/profile.h /root/repo/src/placer/types.h \
@@ -269,10 +268,14 @@ src/runtime/CMakeFiles/lemur_runtime.dir/testbed.cpp.o: \
  /root/repo/src/verify/diagnostics.h /root/repo/src/nic/smartnic.h \
  /root/repo/src/nic/interpreter.h /root/repo/src/nic/verifier.h \
  /root/repo/src/runtime/traffic.h /root/repo/src/net/packet_builder.h \
- /root/repo/src/net/flow.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/net/flow.h /root/repo/src/telemetry/drops.h \
+ /root/repo/src/telemetry/measured_profile.h \
+ /root/repo/src/telemetry/metrics.h \
+ /root/repo/src/telemetry/slo_monitor.h /root/repo/src/telemetry/trace.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/nf/software/crypto_nfs.h \
  /root/repo/src/nf/crypto/aes128.h /root/repo/src/nf/crypto/chacha20.h \
- /root/repo/src/nf/software/factory.h /root/repo/src/verify/verifier.h
+ /root/repo/src/nf/software/factory.h /root/repo/src/telemetry/json.h \
+ /root/repo/src/verify/verifier.h

@@ -184,7 +184,8 @@ src/runtime/CMakeFiles/lemur_runtime.dir/traffic.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/metacompiler/p4_compose.h \
- /root/repo/src/metacompiler/segments.h /root/repo/src/placer/pattern.h \
+ /root/repo/src/metacompiler/segments.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/placer/pattern.h \
  /root/repo/src/placer/profile.h /root/repo/src/placer/types.h \
  /root/repo/src/topo/topology.h /root/repo/src/pisa/switch_sim.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

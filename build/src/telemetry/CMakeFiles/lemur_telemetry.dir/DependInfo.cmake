@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/drops.cpp" "src/telemetry/CMakeFiles/lemur_telemetry.dir/drops.cpp.o" "gcc" "src/telemetry/CMakeFiles/lemur_telemetry.dir/drops.cpp.o.d"
+  "/root/repo/src/telemetry/measured_profile.cpp" "src/telemetry/CMakeFiles/lemur_telemetry.dir/measured_profile.cpp.o" "gcc" "src/telemetry/CMakeFiles/lemur_telemetry.dir/measured_profile.cpp.o.d"
+  "/root/repo/src/telemetry/metrics.cpp" "src/telemetry/CMakeFiles/lemur_telemetry.dir/metrics.cpp.o" "gcc" "src/telemetry/CMakeFiles/lemur_telemetry.dir/metrics.cpp.o.d"
+  "/root/repo/src/telemetry/slo_monitor.cpp" "src/telemetry/CMakeFiles/lemur_telemetry.dir/slo_monitor.cpp.o" "gcc" "src/telemetry/CMakeFiles/lemur_telemetry.dir/slo_monitor.cpp.o.d"
+  "/root/repo/src/telemetry/trace.cpp" "src/telemetry/CMakeFiles/lemur_telemetry.dir/trace.cpp.o" "gcc" "src/telemetry/CMakeFiles/lemur_telemetry.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placer/CMakeFiles/lemur_placer.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/lemur_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lemur_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/lemur_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/bess/CMakeFiles/lemur_bess.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/lemur_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/lemur_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemur_telemetry.dir/drops.cpp.o"
+  "CMakeFiles/lemur_telemetry.dir/drops.cpp.o.d"
+  "CMakeFiles/lemur_telemetry.dir/measured_profile.cpp.o"
+  "CMakeFiles/lemur_telemetry.dir/measured_profile.cpp.o.d"
+  "CMakeFiles/lemur_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/lemur_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/lemur_telemetry.dir/slo_monitor.cpp.o"
+  "CMakeFiles/lemur_telemetry.dir/slo_monitor.cpp.o.d"
+  "CMakeFiles/lemur_telemetry.dir/trace.cpp.o"
+  "CMakeFiles/lemur_telemetry.dir/trace.cpp.o.d"
+  "liblemur_telemetry.a"
+  "liblemur_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemur_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -131,17 +131,18 @@ src/verify/CMakeFiles/lemur_verify.dir/verifier.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/metacompiler/segments.h /root/repo/src/placer/pattern.h \
- /root/repo/src/placer/profile.h /root/repo/src/placer/types.h \
- /root/repo/src/chain/canonical.h /root/repo/src/chain/nf_graph.h \
- /root/repo/src/nf/nf_spec.h /usr/include/c++/12/map \
+ /root/repo/src/metacompiler/segments.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/chain/slo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/placer/pattern.h \
+ /root/repo/src/placer/profile.h /root/repo/src/placer/types.h \
+ /root/repo/src/chain/canonical.h /root/repo/src/chain/nf_graph.h \
+ /root/repo/src/nf/nf_spec.h /root/repo/src/chain/slo.h \
  /usr/include/c++/12/limits /root/repo/src/topo/topology.h \
  /root/repo/src/nf/software/header_nfs.h /root/repo/src/nf/lpm.h \
  /root/repo/src/net/addr.h /usr/include/c++/12/array \
@@ -244,7 +245,6 @@ src/verify/CMakeFiles/lemur_verify.dir/verifier.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/net/batch.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/net/packet.h /root/repo/src/net/headers.h \
  /root/repo/src/net/bytes.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/metacompiler/CMakeFiles/lemur_metacompiler.dir/DependInfo.cmake"
   "/root/repo/build/src/placer/CMakeFiles/lemur_placer.dir/DependInfo.cmake"
   "/root/repo/build/src/verify/CMakeFiles/lemur_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lemur_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/solver/CMakeFiles/lemur_solver.dir/DependInfo.cmake"
   "/root/repo/build/src/chain/CMakeFiles/lemur_chain.dir/DependInfo.cmake"
   "/root/repo/build/src/openflow/CMakeFiles/lemur_openflow.dir/DependInfo.cmake"

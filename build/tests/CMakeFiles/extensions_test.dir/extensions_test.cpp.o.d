@@ -348,4 +348,7 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o: \
  /root/repo/src/verify/diagnostics.h /root/repo/src/nic/smartnic.h \
  /root/repo/src/nic/interpreter.h /root/repo/src/nic/verifier.h \
  /root/repo/src/runtime/traffic.h /root/repo/src/net/packet_builder.h \
- /root/repo/src/net/flow.h
+ /root/repo/src/net/flow.h /root/repo/src/telemetry/drops.h \
+ /root/repo/src/telemetry/measured_profile.h \
+ /root/repo/src/telemetry/metrics.h \
+ /root/repo/src/telemetry/slo_monitor.h /root/repo/src/telemetry/trace.h

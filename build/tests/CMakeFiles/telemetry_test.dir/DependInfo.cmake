@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/telemetry_test.cpp" "tests/CMakeFiles/telemetry_test.dir/telemetry_test.cpp.o" "gcc" "tests/CMakeFiles/telemetry_test.dir/telemetry_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/lemur_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/metacompiler/CMakeFiles/lemur_metacompiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/placer/CMakeFiles/lemur_placer.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lemur_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/lemur_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lemur_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/lemur_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/lemur_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bess/CMakeFiles/lemur_bess.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/lemur_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/lemur_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lemur_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lemur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/lemur_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

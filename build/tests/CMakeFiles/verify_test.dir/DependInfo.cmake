@@ -17,9 +17,10 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/runtime/CMakeFiles/lemur_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/metacompiler/CMakeFiles/lemur_metacompiler.dir/DependInfo.cmake"
   "/root/repo/build/src/placer/CMakeFiles/lemur_placer.dir/DependInfo.cmake"
-  "/root/repo/build/src/chain/CMakeFiles/lemur_chain.dir/DependInfo.cmake"
-  "/root/repo/build/src/solver/CMakeFiles/lemur_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/lemur_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/openflow/CMakeFiles/lemur_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lemur_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/lemur_chain.dir/DependInfo.cmake"
   "/root/repo/build/src/nf/CMakeFiles/lemur_nf.dir/DependInfo.cmake"
   "/root/repo/build/src/pisa/CMakeFiles/lemur_pisa.dir/DependInfo.cmake"
   "/root/repo/build/src/bess/CMakeFiles/lemur_bess.dir/DependInfo.cmake"

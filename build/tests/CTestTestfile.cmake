@@ -20,5 +20,6 @@ include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/sweep_e2e_test[1]_include.cmake")
 include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
 include("/root/repo/build/tests/nf_depth_test[1]_include.cmake")
 include("/root/repo/build/tests/topo_test[1]_include.cmake")

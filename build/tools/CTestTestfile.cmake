@@ -8,3 +8,7 @@ add_test(tool_lemur_cli_verify "/root/repo/build/tools/lemur_cli" "verify" "--ch
 set_tests_properties(tool_lemur_cli_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(tool_lemur_cli_verify_openflow "/root/repo/build/tools/lemur_cli" "verify" "--chain" "1" "--chain" "3" "--openflow" "--no-pisa-nfs" "--delta" "0.5")
 set_tests_properties(tool_lemur_cli_verify_openflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_lemur_cli_stats "/root/repo/build/tools/lemur_cli" "stats" "--chain" "1" "--chain" "2" "--delta" "0.8" "--measure" "2")
+set_tests_properties(tool_lemur_cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_lemur_cli_stats_no_trace "/root/repo/build/tools/lemur_cli" "stats" "--chain" "2" "--delta" "0.5" "--measure" "2" "--no-trace" "--json" "stats_no_trace.json")
+set_tests_properties(tool_lemur_cli_stats_no_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")

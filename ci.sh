@@ -35,6 +35,13 @@ run_config() {
 }
 
 run_config normal "$repo_root/build"
+
+# Telemetry smoke: fig2 workload with tracing on/off. Fails on broken
+# packet conservation, trace-continuity errors, or >10% tracing
+# overhead; leaves BENCH_telemetry.json next to the build tree.
+echo "==== [normal] telemetry smoke ===="
+(cd "$repo_root/build" && ./bench/telemetry_smoke)
+
 run_config sanitize "$repo_root/build-sanitize" \
   -DLEMUR_SANITIZE="address;undefined"
 

@@ -57,6 +57,11 @@ class ServerDataplane {
     return cycles_[static_cast<std::size_t>(core)];
   }
 
+  /// All modules in creation order (telemetry sweeps drop/occupancy state).
+  [[nodiscard]] const std::vector<std::unique_ptr<Module>>& modules() const {
+    return modules_;
+  }
+
  private:
   topo::ServerSpec spec_;
   std::vector<std::unique_ptr<Module>> modules_;

@@ -16,7 +16,8 @@ void Module::emit(Context& ctx, int ogate, net::PacketBatch&& batch) {
   if (batch.empty()) return;
   if (ogate < 0 || static_cast<std::size_t>(ogate) >= ogates_.size() ||
       ogates_[static_cast<std::size_t>(ogate)] == nullptr) {
-    return;  // Unconnected gate: packets vanish (counted by callers).
+    count_drops(batch);  // Unconnected gate: terminal loss, charged here.
+    return;
   }
   ogates_[static_cast<std::size_t>(ogate)]->process(ctx, std::move(batch));
 }

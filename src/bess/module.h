@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <random>
 #include <string>
@@ -83,8 +84,17 @@ class Module {
 
   [[nodiscard]] std::uint64_t packets_in() const { return packets_in_; }
 
+  /// Packets this module discarded (unconnected gates, tail drops, NF
+  /// verdicts, ...), total and broken down by the packets' aggregate_id —
+  /// the runtime's drop ledger sweeps these per chain.
+  [[nodiscard]] std::uint64_t drops_total() const { return drops_total_; }
+  [[nodiscard]] const std::map<std::uint32_t, std::uint64_t>&
+  drops_by_aggregate() const {
+    return drops_by_aggregate_;
+  }
+
  protected:
-  /// Sends a batch out of `ogate`; silently drops if unconnected (the
+  /// Sends a batch out of `ogate`; drops (and counts) if unconnected (the
   /// module graph's terminal edges end in PortOut or Sink modules).
   void emit(Context& ctx, int ogate, net::PacketBatch&& batch);
 
@@ -92,10 +102,21 @@ class Module {
     packets_in_ += batch.size();
   }
 
+  void count_drop(const net::Packet& pkt) {
+    ++drops_total_;
+    ++drops_by_aggregate_[pkt.aggregate_id];
+  }
+
+  void count_drops(const net::PacketBatch& batch) {
+    for (const auto& pkt : batch.packets()) count_drop(pkt);
+  }
+
  private:
   std::string name_;
   std::vector<Module*> ogates_;
   std::uint64_t packets_in_ = 0;
+  std::uint64_t drops_total_ = 0;
+  std::map<std::uint32_t, std::uint64_t> drops_by_aggregate_;
 };
 
 /// Terminal module that counts and discards everything it receives.

@@ -17,11 +17,13 @@ void NshDecap::process(Context& ctx, net::PacketBatch&& batch) {
     const auto nsh = net::pop_nsh(pkt);
     if (!nsh) {
       ++unmapped_drops_;
+      count_drop(pkt);
       continue;
     }
     auto it = gates_.find({nsh->spi, nsh->si});
     if (it == gates_.end()) {
       ++unmapped_drops_;
+      count_drop(pkt);
       continue;
     }
     out[it->second].push(std::move(pkt));

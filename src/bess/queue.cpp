@@ -8,6 +8,7 @@ void Queue::process(Context& ctx, net::PacketBatch&& batch) {
   for (auto& pkt : batch) {
     if (fifo_.size() >= capacity_) {
       ++drops_;  // Tail drop.
+      count_drop(pkt);
     } else {
       fifo_.push_back(std::move(pkt));
     }

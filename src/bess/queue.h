@@ -23,6 +23,14 @@ class Queue : public Module {
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// End-of-run residents per aggregate_id (the conservation residue).
+  [[nodiscard]] std::map<std::uint32_t, std::uint64_t>
+  residents_by_aggregate() const {
+    std::map<std::uint32_t, std::uint64_t> out;
+    for (const auto& pkt : fifo_) ++out[pkt.aggregate_id];
+    return out;
+  }
+
  private:
   std::size_t capacity_;
   std::deque<net::Packet> fifo_;

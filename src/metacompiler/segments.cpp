@@ -55,6 +55,34 @@ const Segment& ChainRouting::ingress_segment() const {
   return segments[static_cast<std::size_t>(segment_of(source_node))];
 }
 
+SegmentIndex::SegmentIndex(const std::vector<ChainRouting>& routings) {
+  for (const auto& routing : routings) {
+    for (const auto& segment : routing.segments) {
+      for (const auto& entry : segment.entries) {
+        entries_[{entry.spi, entry.si}] =
+            SegmentRef{segment.chain, segment.id, segment.target, entry.node};
+      }
+    }
+  }
+}
+
+const SegmentRef* SegmentIndex::find(std::uint32_t spi,
+                                     std::uint8_t si) const {
+  const auto it = entries_.find({spi, si});
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+std::string SegmentIndex::label(std::uint32_t spi, std::uint8_t si) const {
+  const SegmentRef* ref = find(spi, si);
+  if (ref == nullptr) {
+    return "spi" + std::to_string(spi) + "/si" + std::to_string(si);
+  }
+  return "chain" + std::to_string(ref->chain + 1) + "/seg" +
+         std::to_string(ref->segment) + "@" +
+         placer::to_string(ref->target) + " entry n" +
+         std::to_string(ref->entry_node);
+}
+
 std::vector<std::pair<const chain::NfEdge*, int>> gate_map(
     const chain::NfGraph& graph, int node) {
   std::vector<std::pair<const chain::NfEdge*, int>> out;

@@ -13,7 +13,10 @@
 // view of the chain's routing.
 #pragma once
 
+#include <map>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/placer/pattern.h"
@@ -68,6 +71,40 @@ struct ChainRouting {
 /// (chain_index + 1). Patterns must be placement-final.
 ChainRouting build_routing(const chain::ChainSpec& spec,
                            const placer::Pattern& pattern, int chain_index);
+
+/// What a packet's NSH coordinates point at: the segment (and entry node)
+/// it is about to execute.
+struct SegmentRef {
+  int chain = 0;
+  int segment = 0;
+  placer::Target target = placer::Target::kServer;
+  int entry_node = 0;
+};
+
+/// Reverse index from the (SPI, SI) packets actually carry to the segment
+/// they enter. Telemetry uses it to turn raw per-hop trace records into
+/// human-readable attribution ("chain 1, segment 2 on server").
+class SegmentIndex {
+ public:
+  SegmentIndex() = default;
+  explicit SegmentIndex(const std::vector<ChainRouting>& routings);
+
+  [[nodiscard]] const SegmentRef* find(std::uint32_t spi,
+                                       std::uint8_t si) const;
+
+  /// "chain1/seg0@server entry n3"; falls back to "spi1/si60" for
+  /// coordinates the compiled routings never assigned.
+  [[nodiscard]] std::string label(std::uint32_t spi, std::uint8_t si) const;
+
+  [[nodiscard]] const std::map<std::pair<std::uint32_t, std::uint8_t>,
+                               SegmentRef>&
+  entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::pair<std::uint32_t, std::uint8_t>, SegmentRef> entries_;
+};
 
 /// Gate numbering for a node's out-edges: unconditioned edges get gate 0,
 /// conditioned edges get 1, 2, ... in graph order. Returns pairs of

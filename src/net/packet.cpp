@@ -3,6 +3,18 @@
 #include <cassert>
 
 namespace lemur::net {
+
+const char* to_string(HopPlatform platform) {
+  switch (platform) {
+    case HopPlatform::kWire: return "wire";
+    case HopPlatform::kTor: return "tor";
+    case HopPlatform::kServer: return "server";
+    case HopPlatform::kSmartNic: return "smartnic";
+    case HopPlatform::kOpenFlow: return "openflow";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr std::uint8_t kNshProtoIpv4 = 1;

@@ -14,6 +14,30 @@
 
 namespace lemur::net {
 
+/// Simulated platform class a traced packet hop executed on.
+enum class HopPlatform : std::uint8_t {
+  kWire,      ///< Switch<->server(-side) link traversal (bounce latency).
+  kTor,       ///< The PISA ToR pipeline.
+  kServer,    ///< A BESS server dataplane (rx queue through tx).
+  kSmartNic,  ///< An in-line SmartNIC engine.
+  kOpenFlow,  ///< The OpenFlow switch (including its wire round trip).
+};
+
+[[nodiscard]] const char* to_string(HopPlatform platform);
+
+/// One per-hop trace record: where the packet was, under which NSH
+/// segment coordinates, and its enqueue/dequeue virtual times. The
+/// runtime appends these to Packet::hops when tracing is enabled;
+/// consecutive hops tile the packet's rack residency without gaps.
+struct PacketHop {
+  HopPlatform platform = HopPlatform::kWire;
+  std::uint8_t si = 0;     ///< NSH service index on entry (0 if untagged).
+  std::uint16_t id = 0;    ///< Platform instance (server index etc.).
+  std::uint32_t spi = 0;   ///< NSH service path on entry (0 if untagged).
+  std::uint64_t enter_ns = 0;  ///< Enqueue/arrival at the platform.
+  std::uint64_t exit_ns = 0;   ///< Dequeue/departure toward the next hop.
+};
+
 /// A packet travelling through the simulated rack.
 struct Packet {
   std::vector<std::uint8_t> data;  ///< Full frame starting at Ethernet.
@@ -22,6 +46,10 @@ struct Packet {
   std::uint32_t ingress_port = 0;
   std::uint32_t aggregate_id = 0;  ///< Traffic aggregate (customer) id.
   bool drop = false;               ///< Set by an NF to discard the packet.
+
+  /// Per-hop trace accumulated across platforms; empty unless the runtime
+  /// enables tracing.
+  std::vector<PacketHop> hops;
 
   [[nodiscard]] std::size_t size() const { return data.size(); }
 };

@@ -20,10 +20,17 @@ void NfModule::process(bess::Context& ctx, net::PacketBatch&& batch) {
                                                 1.0 + kCostJitter);
   std::map<int, net::PacketBatch> out;
   for (auto& pkt : batch) {
-    ctx.charge_scaled(static_cast<std::uint64_t>(mean * jitter(ctx.rng())));
+    // Charge through charge() with the NUMA factor applied explicitly so
+    // the module can record the cycles *actually* spent — the measured
+    // profile the telemetry extractor feeds back to the Placer.
+    const auto charged = static_cast<std::uint64_t>(
+        mean * jitter(ctx.rng()) * ctx.cost_factor());
+    ctx.charge(charged);
+    cycles_charged_ += charged;
     const int gate = nf_->process(pkt);
     if (gate == SoftwareNf::kDrop || pkt.drop) {
       ++drops_;
+      count_drop(pkt);
       continue;
     }
     out[gate].push(std::move(pkt));

@@ -63,11 +63,19 @@ class NfModule : public bess::Module {
   void process(bess::Context& ctx, net::PacketBatch&& batch) override;
 
   [[nodiscard]] SoftwareNf& nf() { return *nf_; }
+  [[nodiscard]] const SoftwareNf& nf() const { return *nf_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+  /// Total cycles actually charged (jitter sampled, NUMA factor applied);
+  /// divided by packets_in() this is the measured cycles/packet profile.
+  [[nodiscard]] std::uint64_t cycles_charged() const {
+    return cycles_charged_;
+  }
 
  private:
   std::unique_ptr<SoftwareNf> nf_;
   std::uint64_t drops_ = 0;
+  std::uint64_t cycles_charged_ = 0;
 };
 
 }  // namespace lemur::nf

@@ -21,6 +21,7 @@ SmartNic::ProcessResult SmartNic::process(net::Packet& pkt,
   }
   ExecResult exec = execute(*program_, pkt, config_);
   out.action = exec.action;
+  ++action_counts_[static_cast<std::size_t>(exec.action)];
   out.instructions = exec.instructions_executed;
   // Charge either the profiled NF cost (placer currency) or, absent a
   // profile, the executed instruction count.

@@ -110,7 +110,9 @@ std::size_t OpenFlowSwitch::num_rules() const {
 
 OpenFlowSwitch::ProcessResult OpenFlowSwitch::process(net::Packet& pkt) {
   ProcessResult out;
-  for (auto& table : tables_) {
+  for (std::size_t table_index = 0; table_index < tables_.size();
+       ++table_index) {
+    auto& table = tables_[table_index];
     if (table.empty()) continue;
     // Re-parse per table: earlier tables may have restructured the frame.
     auto layers = net::ParsedLayers::parse(pkt);
@@ -147,6 +149,7 @@ OpenFlowSwitch::ProcessResult OpenFlowSwitch::process(net::Packet& pkt) {
         }
         case OfAction::Kind::kDrop:
           out.dropped = true;
+          out.drop_table = static_cast<int>(table_index);
           pkt.drop = true;
           return out;
       }

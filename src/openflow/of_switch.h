@@ -93,6 +93,9 @@ class OpenFlowSwitch {
     bool dropped = false;
     std::uint32_t egress_port = 0;
     int tables_hit = 0;
+    /// Pipeline table (OfTable index) whose action dropped the packet;
+    /// -1 when not dropped.
+    int drop_table = -1;
   };
 
   /// One pass through the fixed pipeline.

@@ -173,6 +173,7 @@ PisaSwitch::ProcessResult PisaSwitch::process(net::Packet& pkt) {
       const TableDef& table = program_.table(apply.table);
       const RuntimeTable& runtime = tables_.at(table.name);
       const TableEntry* entry = runtime.lookup(ctx);
+      const bool was_dropped = ctx.dropped();
       if (entry != nullptr) {
         execute_action(*table.find_action(entry->action), entry->params, ctx);
       } else if (!table.default_action.empty()) {
@@ -180,6 +181,9 @@ PisaSwitch::ProcessResult PisaSwitch::process(net::Packet& pkt) {
         if (def_action != nullptr) {
           execute_action(*def_action, table.default_params, ctx);
         }
+      }
+      if (!was_dropped && ctx.dropped() && out.drop_table.empty()) {
+        out.drop_table = table.name;
       }
     }
     if (ctx.dropped()) break;

@@ -86,6 +86,9 @@ class PisaSwitch {
   struct ProcessResult {
     bool dropped = false;
     std::uint32_t egress_port = 0;
+    /// Table whose action set the drop flag, "" when not dropped (or the
+    /// pipeline was never loaded).
+    std::string drop_table;
   };
 
   /// Runs one packet through the pipeline, mutating it in place.

@@ -52,6 +52,24 @@ void apply_delta(std::vector<chain::ChainSpec>& chains, double delta,
   }
 }
 
+std::vector<StaticNfProfile> static_profile_table(
+    const std::vector<chain::ChainSpec>& chains,
+    const topo::ServerSpec& server, const PlacerOptions& options) {
+  std::vector<StaticNfProfile> out;
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    for (const auto& node : chains[c].graph.nodes()) {
+      StaticNfProfile row;
+      row.chain = static_cast<int>(c);
+      row.node = node.id;
+      row.type = node.type;
+      row.instance_name = node.instance_name;
+      row.cycles = profiled_cycles(node, server, options);
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
 std::vector<double> node_traffic_fractions(const chain::NfGraph& graph) {
   std::vector<double> fractions(graph.nodes().size(), 0.0);
   for (const auto& path : graph.linear_paths()) {

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/placer/types.h"
 
@@ -36,5 +38,20 @@ std::vector<double> node_traffic_fractions(const chain::NfGraph& graph);
 void apply_delta(std::vector<chain::ChainSpec>& chains, double delta,
                  const topo::ServerSpec& server,
                  const PlacerOptions& options);
+
+/// One row of the Placer's static cycle budget, for side-by-side
+/// comparison with telemetry's measured per-NF profiles.
+struct StaticNfProfile {
+  int chain = 0;
+  int node = 0;
+  nf::NfType type = nf::NfType::kAcl;
+  std::string instance_name;
+  std::uint64_t cycles = 0;  ///< profiled_cycles() under `options`.
+};
+
+/// The full static profile table the Placer budgeted for these chains.
+std::vector<StaticNfProfile> static_profile_table(
+    const std::vector<chain::ChainSpec>& chains,
+    const topo::ServerSpec& server, const PlacerOptions& options);
 
 }  // namespace lemur::placer

@@ -1,24 +1,44 @@
 #include "src/runtime/testbed.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/nf/software/crypto_nfs.h"
 #include "src/nf/software/factory.h"
 #include "src/placer/profile.h"
+#include "src/telemetry/json.h"
 #include "src/verify/verifier.h"
 
 namespace lemur::runtime {
+namespace {
+
+/// Which bucket a ToR drop belongs to: the metacompiler's coordination
+/// tables (steering/routing) drop unrouted traffic, everything else is an
+/// NF's own verdict (ACL deny, ...).
+telemetry::DropCause classify_tor_drop(const std::string& drop_table) {
+  if (drop_table.empty()) return telemetry::DropCause::kRoutingMiss;
+  if (drop_table == "lemur_steer" ||
+      drop_table.find("steer") != std::string::npos ||
+      drop_table.find("_route_") != std::string::npos) {
+    return telemetry::DropCause::kRoutingMiss;
+  }
+  return telemetry::DropCause::kNfVerdict;
+}
+
+}  // namespace
 
 /// Wire from the ToR to a server NIC: packets become visible to PortInc
 /// once their ready time passes.
 class Testbed::WireSource : public bess::PacketSource {
  public:
-  void push(net::Packet pkt, std::uint64_t ready_ns) {
+  /// False when the FIFO is full (the caller charges the drop).
+  bool push(net::Packet pkt, std::uint64_t ready_ns) {
     if (fifo_.size() >= kCapacity) {
       ++drops_;
-      return;
+      return false;
     }
     fifo_.emplace_back(ready_ns, std::move(pkt));
+    return true;
   }
 
   std::size_t pull(net::PacketBatch& out, std::size_t max,
@@ -35,17 +55,31 @@ class Testbed::WireSource : public bess::PacketSource {
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
   [[nodiscard]] std::size_t depth() const { return fifo_.size(); }
 
+  [[nodiscard]] std::map<std::uint32_t, std::uint64_t>
+  residents_by_aggregate() const {
+    std::map<std::uint32_t, std::uint64_t> out;
+    for (const auto& [ready, pkt] : fifo_) ++out[pkt.aggregate_id];
+    return out;
+  }
+
  private:
   static constexpr std::size_t kCapacity = 16384;
   std::deque<std::pair<std::uint64_t, net::Packet>> fifo_;
   std::uint64_t drops_ = 0;
 };
 
-/// Collects server egress for re-injection at the ToR.
+/// Collects server egress for re-injection at the ToR. Closes the open
+/// server hop: a hop's exit can never precede its enter, so per-core
+/// virtual-clock skew is clamped away rather than producing negative
+/// residencies.
 class Testbed::ReturnSink : public bess::PacketSink {
  public:
   void push(net::PacketBatch&& batch, std::uint64_t now_ns) override {
     for (auto& pkt : batch) {
+      if (!pkt.hops.empty() && pkt.hops.back().exit_ns == 0) {
+        auto& hop = pkt.hops.back();
+        hop.exit_ns = std::max(hop.enter_ns, now_ns);
+      }
       collected_.emplace_back(now_ns, std::move(pkt));
     }
   }
@@ -96,6 +130,11 @@ Testbed::Testbed(const std::vector<chain::ChainSpec>& chains,
   delivered_bytes_.assign(chains.size(), 0);
   latency_sum_ns_.assign(chains.size(), 0);
   delivered_packets_.assign(chains.size(), 0);
+  offered_packets_.assign(chains.size(), 0);
+  offered_bytes_.assign(chains.size(), 0);
+  latency_ns_.assign(chains.size(), {});
+  raw_latency_ns_.assign(chains.size(), {});
+  segment_index_ = metacompiler::SegmentIndex(artifacts.routings);
   build_endpoints();
   build_tor();
   if (!error_.empty()) return;
@@ -105,6 +144,58 @@ Testbed::Testbed(const std::vector<chain::ChainSpec>& chains,
 }
 
 Testbed::~Testbed() = default;
+
+int Testbed::chain_of(std::uint32_t aggregate_id) const {
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    if (chains_[c].aggregate_id == aggregate_id) return static_cast<int>(c);
+  }
+  return 0;
+}
+
+void Testbed::count_drop(const net::Packet& pkt, net::HopPlatform platform,
+                         telemetry::DropCause cause) {
+  drop_ledger_.add(chain_of(pkt.aggregate_id), platform, cause);
+}
+
+void Testbed::append_hop(net::Packet& pkt, net::HopPlatform platform,
+                         std::uint16_t id, std::uint64_t exit_ns) {
+  if (!tracing_) return;
+  net::PacketHop hop;
+  hop.platform = platform;
+  hop.id = id;
+  hop.enter_ns =
+      pkt.hops.empty() ? pkt.arrival_ns : pkt.hops.back().exit_ns;
+  hop.exit_ns = std::max(hop.enter_ns, exit_ns);
+  // NSH coordinates the packet carries *now* — i.e. the segment it is
+  // heading into after this hop.
+  const auto layers = net::ParsedLayers::parse(pkt);
+  if (layers && layers->nsh) {
+    hop.spi = layers->nsh->spi;
+    hop.si = layers->nsh->si;
+  }
+  pkt.hops.push_back(hop);
+}
+
+void Testbed::open_server_hop(net::Packet& pkt, int server,
+                              std::uint32_t spi, std::uint8_t si) {
+  if (!tracing_) return;
+  net::PacketHop hop;
+  hop.platform = net::HopPlatform::kServer;
+  hop.id = static_cast<std::uint16_t>(server);
+  hop.enter_ns =
+      pkt.hops.empty() ? pkt.arrival_ns : pkt.hops.back().exit_ns;
+  hop.exit_ns = 0;  // Sentinel: the ReturnSink closes the hop at egress.
+  if (spi != 0) {
+    hop.spi = spi;
+    hop.si = si;
+  } else if (!pkt.hops.empty()) {
+    // The previous hop peeked the NSH coordinates this server entry
+    // executes; carry them over without re-parsing.
+    hop.spi = pkt.hops.back().spi;
+    hop.si = pkt.hops.back().si;
+  }
+  pkt.hops.push_back(hop);
+}
 
 void Testbed::build_endpoints() {
   for (const auto& routing : artifacts_.routings) {
@@ -361,14 +452,18 @@ bool Testbed::capture_egress_to(const std::string& path) {
 void Testbed::deliver(net::Packet&& pkt, std::uint64_t ready_ns) {
   if (egress_hook_) egress_hook_(pkt);
   if (egress_capture_) egress_capture_->write(pkt, ready_ns);
-  const std::size_t chain = pkt.aggregate_id >= 1 &&
-                                    pkt.aggregate_id <= chains_.size()
-                                ? pkt.aggregate_id - 1
-                                : 0;
+  const auto chain =
+      static_cast<std::size_t>(chain_of(pkt.aggregate_id));
   delivered_bytes_[chain] += pkt.size();
   delivered_packets_[chain] += 1;
-  latency_sum_ns_[chain] +=
+  const std::uint64_t latency =
       ready_ns > pkt.arrival_ns ? ready_ns - pkt.arrival_ns : 0;
+  latency_sum_ns_[chain] += latency;
+  latency_ns_[chain].record(latency);
+  if (record_raw_latencies_) raw_latency_ns_[chain].push_back(latency);
+  if (tracing_) {
+    traces_.observe(pkt, ready_ns, static_cast<int>(chain));
+  }
 }
 
 void Testbed::to_server(net::Packet&& pkt, int server,
@@ -397,25 +492,45 @@ void Testbed::to_server(net::Packet&& pkt, int server,
             (server_spec.clock_ghz * spec.speedup_vs_core));
         const std::uint64_t start = std::max(ready_ns, rt.engine_free_ns);
         if (start - ready_ns > 1'000'000) {  // >1ms backlog: overload.
-          ++dropped_;
+          count_drop(pkt, net::HopPlatform::kSmartNic,
+                     telemetry::DropCause::kQueueOverflow);
           return;
         }
         rt.engine_free_ns = start + cost_ns;
+        ++rt.packets;
         rt.device->process(pkt, cost_cycles);
         if (pkt.drop) {
-          ++dropped_;
+          count_drop(pkt, net::HopPlatform::kSmartNic,
+                     telemetry::DropCause::kNfVerdict);
           return;
         }
         net::set_nsh(pkt, artifact->spi_out, artifact->si_out);
         const std::uint64_t done = rt.engine_free_ns;
+        if (tracing_) {
+          net::PacketHop hop;
+          hop.platform = net::HopPlatform::kSmartNic;
+          hop.id = static_cast<std::uint16_t>(artifact->smartnic);
+          hop.spi = artifact->spi_in;
+          hop.si = artifact->si_in;
+          hop.enter_ns = pkt.hops.empty() ? pkt.arrival_ns
+                                          : pkt.hops.back().exit_ns;
+          hop.exit_ns = std::max(hop.enter_ns, done);
+          pkt.hops.push_back(hop);
+        }
         const auto ep =
             endpoints_.find(endpoint_key(artifact->spi_out,
                                          artifact->si_out));
         if (ep != endpoints_.end() &&
             ep->second.target == placer::Target::kServer &&
             ep->second.server == server) {
-          servers_[static_cast<std::size_t>(server)].source->push(
-              std::move(pkt), done);
+          open_server_hop(pkt, server, artifact->spi_out,
+                          artifact->si_out);
+          const std::uint32_t aggregate = pkt.aggregate_id;
+          if (!servers_[static_cast<std::size_t>(server)].source->push(
+                  std::move(pkt), done)) {
+            drop_ledger_.add(chain_of(aggregate), net::HopPlatform::kWire,
+                             telemetry::DropCause::kQueueOverflow);
+          }
         } else {
           to_switch_.emplace_back(
               done + static_cast<std::uint64_t>(
@@ -426,18 +541,25 @@ void Testbed::to_server(net::Packet&& pkt, int server,
       }
     }
   }
-  servers_[static_cast<std::size_t>(server)].source->push(std::move(pkt),
-                                                          ready_ns);
+  open_server_hop(pkt, server);
+  const std::uint32_t aggregate = pkt.aggregate_id;
+  if (!servers_[static_cast<std::size_t>(server)].source->push(
+          std::move(pkt), ready_ns)) {
+    drop_ledger_.add(chain_of(aggregate), net::HopPlatform::kWire,
+                     telemetry::DropCause::kQueueOverflow);
+  }
 }
 
 void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
   if (!of_switch_) {
-    ++dropped_;
+    count_drop(pkt, net::HopPlatform::kOpenFlow,
+               telemetry::DropCause::kRoutingMiss);
     return;
   }
   auto layers = net::ParsedLayers::parse(pkt);
   if (!layers || !layers->nsh) {
-    ++dropped_;
+    count_drop(pkt, net::HopPlatform::kOpenFlow,
+               telemetry::DropCause::kRoutingMiss);
     return;
   }
   const metacompiler::OfArtifact* artifact = nullptr;
@@ -447,7 +569,8 @@ void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
     }
   }
   if (artifact == nullptr) {
-    ++dropped_;
+    count_drop(pkt, net::HopPlatform::kOpenFlow,
+               telemetry::DropCause::kRoutingMiss);
     return;
   }
   // NSH -> VLAN at the OF boundary (the OF ASIC has no NSH support).
@@ -455,15 +578,27 @@ void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
   net::push_vlan(pkt, artifact->vid_in);
   const auto result = of_switch_->process(pkt);
   if (result.dropped) {
-    ++dropped_;
+    count_drop(pkt, net::HopPlatform::kOpenFlow,
+               telemetry::DropCause::kNfVerdict);
     return;
   }
   net::pop_vlan(pkt);
   net::push_nsh(pkt, artifact->spi_out, artifact->si_out);
-  to_switch_.emplace_back(
+  const std::uint64_t out_ns =
       ready_ns + 2 * static_cast<std::uint64_t>(
-                         topo_.bounce_latency_us * 1000),
-      std::move(pkt));
+                         topo_.bounce_latency_us * 1000);
+  if (tracing_) {
+    net::PacketHop hop;
+    hop.platform = net::HopPlatform::kOpenFlow;
+    hop.id = 0;
+    hop.spi = artifact->spi_in;
+    hop.si = artifact->si_in;
+    hop.enter_ns =
+        pkt.hops.empty() ? pkt.arrival_ns : pkt.hops.back().exit_ns;
+    hop.exit_ns = std::max(hop.enter_ns, out_ns);
+    pkt.hops.push_back(hop);
+  }
+  to_switch_.emplace_back(out_ns, std::move(pkt));
 }
 
 void Testbed::route_from_switch(net::Packet&& pkt,
@@ -486,7 +621,141 @@ void Testbed::route_from_switch(net::Packet&& pkt,
       return;
     }
   }
-  ++dropped_;  // Unknown port.
+  count_drop(pkt, net::HopPlatform::kTor,
+             telemetry::DropCause::kRoutingMiss);  // Unknown port.
+}
+
+void Testbed::sample_queue_depths() {
+  metrics_.gauge("tor.backlog").set(static_cast<double>(to_switch_.size()));
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const auto& rt = servers_[s];
+    if (!rt.dataplane) continue;
+    const std::string prefix = "server" + std::to_string(s);
+    const auto wire_depth = rt.source ? rt.source->depth() : 0;
+    metrics_.gauge(prefix + ".wire_depth")
+        .set(static_cast<double>(wire_depth));
+    metrics_.histogram(prefix + ".wire_depth").record(wire_depth);
+    std::uint64_t queued = 0;
+    for (const auto& module : rt.dataplane->modules()) {
+      if (const auto* q = dynamic_cast<const bess::Queue*>(module.get())) {
+        queued += q->depth();
+      }
+    }
+    metrics_.gauge(prefix + ".queue_depth")
+        .set(static_cast<double>(queued));
+    metrics_.histogram(prefix + ".queue_depth").record(queued);
+  }
+}
+
+void Testbed::sweep_module_drops() {
+  for (const auto& rt : servers_) {
+    if (!rt.dataplane) continue;
+    for (const auto& module : rt.dataplane->modules()) {
+      if (module->drops_total() == 0) continue;
+      telemetry::DropCause cause = telemetry::DropCause::kRoutingMiss;
+      if (dynamic_cast<const bess::Queue*>(module.get()) != nullptr) {
+        cause = telemetry::DropCause::kQueueOverflow;
+      } else if (dynamic_cast<const nf::NfModule*>(module.get()) !=
+                 nullptr) {
+        cause = telemetry::DropCause::kNfVerdict;
+      }
+      for (const auto& [aggregate, n] : module->drops_by_aggregate()) {
+        drop_ledger_.add(chain_of(aggregate), net::HopPlatform::kServer,
+                         cause, n);
+      }
+    }
+  }
+}
+
+void Testbed::sweep_residuals(Measurement& out) {
+  out.chain_residual.assign(chains_.size(), 0);
+  auto credit = [&](std::uint32_t aggregate, std::uint64_t n) {
+    out.chain_residual[static_cast<std::size_t>(chain_of(aggregate))] += n;
+    out.residual_queued += n;
+  };
+  for (const auto& [ready, pkt] : to_switch_) credit(pkt.aggregate_id, 1);
+  for (const auto& rt : servers_) {
+    if (rt.source) {
+      for (const auto& [aggregate, n] : rt.source->residents_by_aggregate()) {
+        credit(aggregate, n);
+      }
+    }
+    if (!rt.dataplane) continue;
+    for (const auto& module : rt.dataplane->modules()) {
+      if (const auto* q = dynamic_cast<const bess::Queue*>(module.get())) {
+        for (const auto& [aggregate, n] : q->residents_by_aggregate()) {
+          credit(aggregate, n);
+        }
+      }
+    }
+  }
+}
+
+std::vector<telemetry::MeasuredNfProfile> Testbed::measured_nf_profiles()
+    const {
+  // Aggregate replicas of the same (chain, node) into one row.
+  std::map<std::pair<int, int>, telemetry::MeasuredNfProfile> rows;
+  for (const auto& rt : servers_) {
+    if (!rt.dataplane) continue;
+    for (const auto& module : rt.dataplane->modules()) {
+      const auto* nf_module =
+          dynamic_cast<const nf::NfModule*>(module.get());
+      if (nf_module == nullptr || nf_module->packets_in() == 0) continue;
+      // Module names are "c<chain>_s<seg>_r<replica>_<instance>".
+      int chain = -1, seg = -1, replica = -1, consumed = 0;
+      if (std::sscanf(module->name().c_str(), "c%d_s%d_r%d_%n", &chain,
+                      &seg, &replica, &consumed) != 3 ||
+          consumed == 0) {
+        continue;
+      }
+      const std::string instance = module->name().substr(
+          static_cast<std::size_t>(consumed));
+      const auto& graph = chains_[static_cast<std::size_t>(chain)].graph;
+      int node_id = -1;
+      for (const auto& node : graph.nodes()) {
+        if (node.instance_name == instance) {
+          node_id = node.id;
+          break;
+        }
+      }
+      if (node_id < 0) continue;  // Generated steering, not a chain NF.
+      auto& row = rows[{chain, node_id}];
+      if (row.packets == 0) {
+        row.chain = chain;
+        row.node = node_id;
+        row.type = nf_module->nf().type();
+        row.name = instance;
+        row.platform = net::HopPlatform::kServer;
+      }
+      const double total =
+          row.cycles_per_packet * static_cast<double>(row.packets) +
+          static_cast<double>(nf_module->cycles_charged());
+      row.packets += nf_module->packets_in();
+      row.cycles_per_packet = total / static_cast<double>(row.packets);
+    }
+  }
+  std::vector<telemetry::MeasuredNfProfile> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) out.push_back(std::move(row));
+  // NIC-placed NFs: the engine charges the profiled cost exactly, so the
+  // measured profile is the charge itself, at the device's packet count.
+  for (const auto& [server, rt] : nics_) {
+    for (const auto* artifact : rt.artifacts) {
+      const auto& node = chains_[static_cast<std::size_t>(artifact->chain)]
+                             .graph.node(artifact->node);
+      telemetry::MeasuredNfProfile row;
+      row.chain = artifact->chain;
+      row.node = artifact->node;
+      row.type = artifact->type;
+      row.name = node.instance_name;
+      row.platform = net::HopPlatform::kSmartNic;
+      row.packets = rt.packets;
+      row.cycles_per_packet = static_cast<double>(
+          nf::effective_cycle_cost(node.type, node.config));
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
 }
 
 Measurement Testbed::run(double duration_ms, double offered_headroom,
@@ -510,17 +779,19 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
       static_cast<std::uint64_t>(duration_ms * 1e6);
   constexpr std::uint64_t kQuantumNs = 100'000;  // 100 us.
   std::uint64_t now = 0;
-  // Two extra drain quanta flush in-flight packets after injection stops.
+  // Extra drain quanta flush in-flight packets after injection stops.
   const std::uint64_t drain_until = duration_ns + 20 * kQuantumNs;
 
   while (now < drain_until) {
     const std::uint64_t quantum_end = now + kQuantumNs;
     // 1. Inject fresh traffic (within the measurement window only).
     if (now < duration_ns) {
-      for (auto& src : sources) {
-        for (auto& pkt : src.emit_until(quantum_end)) {
+      for (std::size_t c = 0; c < sources.size(); ++c) {
+        for (auto& pkt : sources[c].emit_until(quantum_end)) {
           const std::uint64_t t = pkt.arrival_ns;
           ++out.offered_packets;
+          ++offered_packets_[c];
+          offered_bytes_[c] += pkt.size();
           to_switch_.emplace_back(t, std::move(pkt));
         }
       }
@@ -536,9 +807,11 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
       }
       const auto result = tor_->process(pkt);
       if (result.dropped) {
-        ++dropped_;
+        count_drop(pkt, net::HopPlatform::kTor,
+                   classify_tor_drop(result.drop_table));
         continue;
       }
+      append_hop(pkt, net::HopPlatform::kTor, 0, ready);
       route_from_switch(std::move(pkt), result.egress_port, ready);
     }
     to_switch_ = std::move(later);
@@ -555,11 +828,23 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
         to_switch_.emplace_back(t + bounce, std::move(pkt));
       }
     }
+    sample_queue_depths();
     now = quantum_end;
   }
 
+  sweep_module_drops();
+  sweep_residuals(out);
+
   out.chain_gbps.resize(chains_.size());
   out.chain_latency_us.resize(chains_.size());
+  out.chain_p50_us.resize(chains_.size());
+  out.chain_p95_us.resize(chains_.size());
+  out.chain_p99_us.resize(chains_.size());
+  out.chain_max_us.resize(chains_.size());
+  out.chain_offered.resize(chains_.size());
+  out.chain_delivered.resize(chains_.size());
+  out.chain_dropped.resize(chains_.size());
+  std::vector<double> offered_gbps_v(chains_.size(), 0);
   for (std::size_t c = 0; c < chains_.size(); ++c) {
     // bits / ns == Gbps.
     out.chain_gbps[c] = static_cast<double>(delivered_bytes_[c]) * 8.0 /
@@ -570,13 +855,155 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
             ? static_cast<double>(latency_sum_ns_[c]) /
                   static_cast<double>(delivered_packets_[c]) / 1000.0
             : 0;
+    const auto& hist = latency_ns_[c];
+    if (hist.count() > 0) {
+      out.chain_p50_us[c] = hist.quantile(0.50) / 1e3;
+      out.chain_p95_us[c] = hist.quantile(0.95) / 1e3;
+      out.chain_p99_us[c] = hist.quantile(0.99) / 1e3;
+      out.chain_max_us[c] = static_cast<double>(hist.max()) / 1e3;
+    }
+    out.chain_offered[c] = offered_packets_[c];
+    out.chain_delivered[c] = delivered_packets_[c];
+    out.chain_dropped[c] =
+        drop_ledger_.chain_total(static_cast<int>(c));
     out.delivered_packets += delivered_packets_[c];
+    offered_gbps_v[c] = static_cast<double>(offered_bytes_[c]) * 8.0 /
+                        (duration_ms * 1e6);
   }
-  out.dropped_packets = dropped_;
-  for (const auto& rt : servers_) {
-    if (rt.source) out.dropped_packets += rt.source->drops();
+  // Legacy semantics: fabric drops only — in-server losses (NF verdicts,
+  // queue overflow inside a pipeline) stay in unaccounted().
+  out.dropped_packets = 0;
+  for (const auto& [key, n] : drop_ledger_.cells()) {
+    if (std::get<1>(key) != net::HopPlatform::kServer) {
+      out.dropped_packets += n;
+    }
   }
+  out.drops = drop_ledger_;
+
+  // Finalize the metrics registry.
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    const std::string prefix = "chain" + std::to_string(c);
+    metrics_.counter(prefix + ".offered_packets").add(offered_packets_[c]);
+    metrics_.counter(prefix + ".delivered_packets")
+        .add(delivered_packets_[c]);
+    metrics_.histogram(prefix + ".latency_ns").merge(latency_ns_[c]);
+  }
+  for (const auto& [key, n] : drop_ledger_.cells()) {
+    metrics_
+        .counter("chain" + std::to_string(std::get<0>(key)) + ".drops." +
+                 net::to_string(std::get<1>(key)) + "." +
+                 telemetry::to_string(std::get<2>(key)))
+        .add(n);
+  }
+
+  // SLO compliance for the run.
+  std::vector<const telemetry::LatencyHistogram*> hists;
+  hists.reserve(chains_.size());
+  for (const auto& hist : latency_ns_) hists.push_back(&hist);
+  out.slo = telemetry::evaluate_slo(chains_, placement_, offered_gbps_v,
+                                    out.chain_gbps, hists, traces_,
+                                    drop_ledger_);
   return out;
+}
+
+std::string Testbed::stats_json(const Measurement& m) const {
+  telemetry::JsonWriter w;
+  w.begin_object();
+
+  w.key("measurement");
+  w.begin_object();
+  w.kv("aggregate_gbps", m.aggregate_gbps);
+  w.kv("offered_packets", m.offered_packets);
+  w.kv("delivered_packets", m.delivered_packets);
+  w.kv("dropped_packets", m.dropped_packets);
+  w.kv("residual_queued", m.residual_queued);
+  w.key("chains");
+  w.begin_array();
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    w.begin_object();
+    w.kv("chain", static_cast<int>(c) + 1);
+    w.kv("name", chains_[c].name);
+    w.kv("gbps", c < m.chain_gbps.size() ? m.chain_gbps[c] : 0);
+    w.kv("latency_mean_us",
+         c < m.chain_latency_us.size() ? m.chain_latency_us[c] : 0);
+    w.kv("latency_p50_us", c < m.chain_p50_us.size() ? m.chain_p50_us[c] : 0);
+    w.kv("latency_p95_us", c < m.chain_p95_us.size() ? m.chain_p95_us[c] : 0);
+    w.kv("latency_p99_us", c < m.chain_p99_us.size() ? m.chain_p99_us[c] : 0);
+    w.kv("latency_max_us", c < m.chain_max_us.size() ? m.chain_max_us[c] : 0);
+    w.kv("offered", c < m.chain_offered.size() ? m.chain_offered[c] : 0);
+    w.kv("delivered",
+         c < m.chain_delivered.size() ? m.chain_delivered[c] : 0);
+    w.kv("dropped", c < m.chain_dropped.size() ? m.chain_dropped[c] : 0);
+    w.kv("residual", c < m.chain_residual.size() ? m.chain_residual[c] : 0);
+    w.kv("slo_compliant", m.slo.compliant(static_cast<int>(c)));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("slo");
+  w.begin_object();
+  w.kv("compliant", m.slo.compliant());
+  w.key("violations");
+  w.begin_array();
+  for (const auto& v : m.slo.violations) {
+    w.begin_object();
+    w.kv("chain", v.chain + 1);
+    w.kv("kind", telemetry::to_string(v.kind));
+    w.kv("observed", v.observed);
+    w.kv("bound", v.bound);
+    w.kv("responsible_hop", v.responsible_hop);
+    w.kv("hop_share", v.hop_share);
+    w.kv("detail", v.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("drops");
+  w.begin_array();
+  for (const auto& [key, n] : m.drops.cells()) {
+    w.begin_object();
+    w.kv("chain", std::get<0>(key) + 1);
+    w.kv("platform", net::to_string(std::get<1>(key)));
+    w.kv("cause", telemetry::to_string(std::get<2>(key)));
+    w.kv("count", n);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("hops");
+  w.begin_array();
+  for (const auto& [key, stats] : traces_.hops()) {
+    w.begin_object();
+    w.kv("chain", key.first + 1);
+    w.kv("hop", telemetry::to_string(key.second));
+    if (key.second.spi != 0) {
+      w.kv("segment", segment_index_.label(key.second.spi, key.second.si));
+    }
+    w.kv("packets", stats.packets);
+    w.kv("mean_ns", stats.mean_ns());
+    w.kv("p99_ns", stats.residency_ns.quantile(0.99));
+    w.kv("max_ns", stats.residency_ns.max());
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("trace_health");
+  w.begin_object();
+  w.kv("traces_observed", traces_.traces_observed());
+  w.kv("continuity_errors", traces_.continuity_errors());
+  w.kv("first_continuity_error", traces_.first_continuity_error());
+  w.end_object();
+
+  w.key("measured_profiles");
+  w.raw(telemetry::to_json(measured_nf_profiles()));
+
+  w.key("metrics");
+  w.raw(metrics_.to_json());
+
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace lemur::runtime

@@ -10,6 +10,14 @@
 // per-core cycle accounting; each switch<->server hand-off costs the
 // topology's bounce latency. SmartNICs sit in-line in front of their
 // server and process NSH-tagged segments assigned to them.
+//
+// Telemetry: with tracing on (the default) every packet accumulates
+// per-hop (platform, SPI/SI, enter/exit) records across the path;
+// delivery folds them into per-segment latency attribution, per-chain
+// latency histograms feed the SLO monitor, and every discarded packet is
+// charged to a (chain, platform, cause) drop-ledger cell so that
+//   offered == delivered + dropped + residual
+// holds exactly per chain (residual = end-of-run queue residents).
 #pragma once
 
 #include <deque>
@@ -24,6 +32,11 @@
 #include "src/openflow/of_switch.h"
 #include "src/pisa/switch_sim.h"
 #include "src/runtime/traffic.h"
+#include "src/telemetry/drops.h"
+#include "src/telemetry/measured_profile.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/slo_monitor.h"
+#include "src/telemetry/trace.h"
 
 namespace lemur::runtime {
 
@@ -33,7 +46,32 @@ struct Measurement {
   double aggregate_gbps = 0;
   std::uint64_t offered_packets = 0;  ///< Injected during the window.
   std::uint64_t delivered_packets = 0;
+  /// Fabric drops: every drop-ledger cell except in-server ones
+  /// (platform kServer), preserving the field's historical meaning.
+  /// `drops` below carries the full attribution.
   std::uint64_t dropped_packets = 0;
+
+  // Per-chain latency distribution (microseconds). The mean above hides
+  // tail violations; SLO enforcement reads these.
+  std::vector<double> chain_p50_us;
+  std::vector<double> chain_p95_us;
+  std::vector<double> chain_p99_us;
+  std::vector<double> chain_max_us;
+
+  // Exact per-chain packet conservation:
+  //   chain_offered == chain_delivered + chain_dropped + chain_residual.
+  std::vector<std::uint64_t> chain_offered;
+  std::vector<std::uint64_t> chain_delivered;
+  std::vector<std::uint64_t> chain_dropped;   ///< All causes/platforms.
+  std::vector<std::uint64_t> chain_residual;  ///< Still queued at run end.
+
+  /// Per-(chain, platform, cause) drop attribution.
+  telemetry::DropLedger drops;
+  /// SLO compliance judged against each chain's t_min/t_max/d_max.
+  telemetry::SloReport slo;
+  /// Total packets still queued (wire FIFOs, BESS queues, ToR backlog)
+  /// when the run ended.
+  std::uint64_t residual_queued = 0;
 
   /// Packets neither delivered nor counted as fabric drops: still queued
   /// at the end of the drain window, or consumed inside NF modules
@@ -67,6 +105,41 @@ class Testbed {
 
   [[nodiscard]] const pisa::PisaSwitch& tor() const { return *tor_; }
 
+  /// Per-hop packet tracing (on by default). Off saves the per-hop
+  /// record-keeping; drop attribution and latency histograms stay on.
+  void set_tracing(bool enabled) { tracing_ = enabled; }
+  [[nodiscard]] bool tracing() const { return tracing_; }
+
+  /// Keep every raw latency sample per chain (tests compare histogram
+  /// quantiles against an exact sort). Off by default: unbounded memory.
+  void set_record_raw_latencies(bool enabled) {
+    record_raw_latencies_ = enabled;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::uint64_t>>&
+  raw_latencies_ns() const {
+    return raw_latency_ns_;
+  }
+
+  /// Counters/gauges/histograms accumulated by the last run() (per-chain
+  /// latency, per-platform queue occupancy series, ...).
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  /// Per-(chain, hop) residency statistics from the last run().
+  [[nodiscard]] const telemetry::TraceAggregator& traces() const {
+    return traces_;
+  }
+
+  /// Per-NF measured profiles (cycles actually charged per packet) from
+  /// the last run() — comparable to placer::static_profile_table.
+  [[nodiscard]] std::vector<telemetry::MeasuredNfProfile>
+  measured_nf_profiles() const;
+
+  /// Full telemetry snapshot of the last run() as a JSON document:
+  /// measurement, SLO report, drop ledger, per-hop table, measured
+  /// profiles, and the metrics registry.
+  [[nodiscard]] std::string stats_json(const Measurement& m) const;
+
   /// Observation hook invoked for every packet delivered at network
   /// egress (tests use it to verify end-to-end packet transformations).
   void set_egress_hook(std::function<void(const net::Packet&)> hook) {
@@ -96,6 +169,7 @@ class Testbed {
     std::unique_ptr<nic::SmartNic> device;
     std::vector<const metacompiler::NicArtifact*> artifacts;
     std::uint64_t engine_free_ns = 0;
+    std::uint64_t packets = 0;  ///< Packets this testbed ran through it.
   };
 
   static std::uint64_t endpoint_key(std::uint32_t spi, std::uint8_t si) {
@@ -114,6 +188,23 @@ class Testbed {
   void to_server(net::Packet&& pkt, int server, std::uint64_t ready_ns);
   void through_openflow(net::Packet&& pkt, std::uint64_t ready_ns);
 
+  /// 0-based chain index for a packet's traffic aggregate.
+  [[nodiscard]] int chain_of(std::uint32_t aggregate_id) const;
+  void count_drop(const net::Packet& pkt, net::HopPlatform platform,
+                  telemetry::DropCause cause);
+  /// Appends a hop ending at `exit_ns`; the hop starts where the previous
+  /// one ended (or at arrival), so traces tile by construction.
+  void append_hop(net::Packet& pkt, net::HopPlatform platform,
+                  std::uint16_t id, std::uint64_t exit_ns);
+  /// Opens a server hop (exit filled by the ReturnSink on egress).
+  /// `spi`/`si` label the segment being entered; 0 means "reuse the
+  /// previous hop's coordinates".
+  void open_server_hop(net::Packet& pkt, int server, std::uint32_t spi = 0,
+                       std::uint8_t si = 0);
+  void sweep_module_drops();
+  void sweep_residuals(Measurement& out);
+  void sample_queue_depths();
+
   const std::vector<chain::ChainSpec>& chains_;
   const placer::PlacementResult& placement_;
   const metacompiler::CompiledArtifacts& artifacts_;
@@ -127,6 +218,7 @@ class Testbed {
   std::vector<ServerRt> servers_;
   std::map<int, NicRt> nics_;  ///< Keyed by attached server.
   std::unique_ptr<openflow::OpenFlowSwitch> of_switch_;
+  metacompiler::SegmentIndex segment_index_;
 
   std::deque<std::pair<std::uint64_t, net::Packet>> to_switch_;
   std::function<void(const net::Packet&)> egress_hook_;
@@ -136,7 +228,15 @@ class Testbed {
   std::vector<std::uint64_t> delivered_bytes_;
   std::vector<std::uint64_t> latency_sum_ns_;
   std::vector<std::uint64_t> delivered_packets_;
-  std::uint64_t dropped_ = 0;
+  std::vector<std::uint64_t> offered_packets_;
+  std::vector<std::uint64_t> offered_bytes_;
+  std::vector<telemetry::LatencyHistogram> latency_ns_;
+  std::vector<std::vector<std::uint64_t>> raw_latency_ns_;
+  telemetry::DropLedger drop_ledger_;
+  telemetry::TraceAggregator traces_;
+  telemetry::MetricsRegistry metrics_;
+  bool tracing_ = true;
+  bool record_raw_latencies_ = false;
 };
 
 }  // namespace lemur::runtime

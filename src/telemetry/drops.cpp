@@ -1,0 +1,66 @@
+#include "src/telemetry/drops.h"
+
+namespace lemur::telemetry {
+
+const char* to_string(DropCause cause) {
+  switch (cause) {
+    case DropCause::kQueueOverflow: return "queue-overflow";
+    case DropCause::kNfVerdict: return "nf-verdict";
+    case DropCause::kRoutingMiss: return "routing-miss";
+  }
+  return "?";
+}
+
+std::uint64_t DropLedger::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, n] : cells_) sum += n;
+  return sum;
+}
+
+std::uint64_t DropLedger::chain_total(int chain) const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, n] : cells_) {
+    if (std::get<0>(key) == chain) sum += n;
+  }
+  return sum;
+}
+
+std::uint64_t DropLedger::cause_total(int chain, DropCause cause) const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, n] : cells_) {
+    if (std::get<0>(key) == chain && std::get<2>(key) == cause) sum += n;
+  }
+  return sum;
+}
+
+std::uint64_t DropLedger::platform_total(int chain,
+                                         net::HopPlatform platform) const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, n] : cells_) {
+    if (std::get<0>(key) == chain && std::get<1>(key) == platform) sum += n;
+  }
+  return sum;
+}
+
+std::uint64_t DropLedger::count(int chain, net::HopPlatform platform,
+                                DropCause cause) const {
+  const auto it = cells_.find({chain, platform, cause});
+  return it != cells_.end() ? it->second : 0;
+}
+
+std::optional<net::HopPlatform> DropLedger::dominant_platform(
+    int chain) const {
+  std::optional<net::HopPlatform> best;
+  std::uint64_t best_n = 0;
+  for (const auto& [key, n] : cells_) {
+    if (std::get<0>(key) != chain) continue;
+    const std::uint64_t platform_n = platform_total(chain, std::get<1>(key));
+    if (platform_n > best_n) {
+      best_n = platform_n;
+      best = std::get<1>(key);
+    }
+  }
+  return best;
+}
+
+}  // namespace lemur::telemetry

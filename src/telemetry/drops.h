@@ -1,0 +1,58 @@
+// Drop-reason attribution: every discarded packet is charged to a
+// (chain, platform, cause) cell, replacing the runtime's old single
+// global drop counter. Together with per-chain offered/delivered counts
+// this gives the exact conservation invariant
+//   offered == delivered + dropped + unaccounted
+// where unaccounted is precisely the end-of-run queue residue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+
+#include "src/net/packet.h"
+
+namespace lemur::telemetry {
+
+enum class DropCause : std::uint8_t {
+  kQueueOverflow,  ///< Tail drop / engine backlog.
+  kNfVerdict,      ///< An NF decided to discard (ACL deny, limiter, ...).
+  kRoutingMiss,    ///< No route for the packet's (SPI, SI) / egress port.
+};
+
+[[nodiscard]] const char* to_string(DropCause cause);
+
+class DropLedger {
+ public:
+  using Key = std::tuple<int, net::HopPlatform, DropCause>;
+
+  void add(int chain, net::HopPlatform platform, DropCause cause,
+           std::uint64_t n = 1) {
+    if (n == 0) return;
+    cells_[{chain, platform, cause}] += n;
+  }
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t chain_total(int chain) const;
+  [[nodiscard]] std::uint64_t cause_total(int chain, DropCause cause) const;
+  [[nodiscard]] std::uint64_t platform_total(int chain,
+                                             net::HopPlatform platform) const;
+  [[nodiscard]] std::uint64_t count(int chain, net::HopPlatform platform,
+                                    DropCause cause) const;
+
+  /// The platform with the most drops for a chain; nullopt when the chain
+  /// dropped nothing. Used by the SLO monitor to name the responsible hop
+  /// of a rate violation.
+  [[nodiscard]] std::optional<net::HopPlatform> dominant_platform(
+      int chain) const;
+
+  [[nodiscard]] const std::map<Key, std::uint64_t>& cells() const {
+    return cells_;
+  }
+
+ private:
+  std::map<Key, std::uint64_t> cells_;
+};
+
+}  // namespace lemur::telemetry

@@ -1,0 +1,146 @@
+// Minimal JSON emitter for telemetry snapshots (`lemur_cli stats`,
+// BENCH_*.json). Hand-rolled on purpose: the repo carries no third-party
+// serialization dependency, and telemetry only ever *writes* JSON.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lemur::telemetry {
+
+/// Streaming writer with automatic comma/indent management. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("x"); w.value(1.5);
+///   w.key("list"); w.begin_array(); w.value("a"); w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view name) {
+    separate();
+    append_string(name);
+    out_ += ": ";
+    pending_value_ = true;
+  }
+
+  void value(std::string_view v) {
+    separate();
+    append_string(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+  }
+  void value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+  }
+  void value(std::uint64_t v) {
+    separate();
+    out_ += std::to_string(v);
+  }
+  void value(std::int64_t v) {
+    separate();
+    out_ += std::to_string(v);
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  void kv(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// Splices pre-rendered JSON in as one value (e.g. a nested document
+  /// produced by another writer). The caller guarantees validity.
+  void raw(std::string_view json) {
+    separate();
+    out_ += json;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void open(char c) {
+    separate();
+    out_ += c;
+    stack_.push_back(false);
+  }
+
+  void close(char c) {
+    const bool had_items = !stack_.empty() && stack_.back();
+    stack_.pop_back();
+    if (had_items) {
+      out_ += '\n';
+      pad();
+    }
+    out_ += c;
+  }
+
+  /// Emits the comma/newline before a new item, unless this value
+  /// completes a pending `key:`.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back()) out_ += ',';
+    stack_.back() = true;
+    out_ += '\n';
+    pad();
+  }
+
+  void pad() {
+    out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  int indent_;
+  std::string out_;
+  std::vector<bool> stack_;  ///< Per nesting level: item already emitted.
+  bool pending_value_ = false;
+};
+
+}  // namespace lemur::telemetry

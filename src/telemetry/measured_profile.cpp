@@ -1,0 +1,25 @@
+#include "src/telemetry/measured_profile.h"
+
+#include "src/telemetry/json.h"
+
+namespace lemur::telemetry {
+
+std::string to_json(const std::vector<MeasuredNfProfile>& profiles) {
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& p : profiles) {
+    w.begin_object();
+    w.kv("chain", p.chain + 1);
+    w.kv("node", p.node);
+    w.kv("nf", spec_of(p.type).name);
+    w.kv("name", p.name);
+    w.kv("platform", net::to_string(p.platform));
+    w.kv("packets", p.packets);
+    w.kv("cycles_per_packet", p.cycles_per_packet);
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+}  // namespace lemur::telemetry

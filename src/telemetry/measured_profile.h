@@ -1,0 +1,33 @@
+// Measured-profile extraction: converts what the runtime actually charged
+// per NF (cycles, residency) into per-NF profiles directly comparable to
+// the Placer's static tables (src/placer/profile.*). This closes the
+// paper's profiling feedback loop — section 3.2's profiles are measured
+// on hardware, and a deployed chain's measurements can re-calibrate them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/nf/nf_spec.h"
+
+namespace lemur::telemetry {
+
+struct MeasuredNfProfile {
+  int chain = 0;            ///< Chain index (0-based).
+  int node = 0;             ///< NfGraph node id.
+  nf::NfType type = nf::NfType::kAcl;
+  std::string name;         ///< Module/instance name, e.g. "c1n3_ACL".
+  net::HopPlatform platform = net::HopPlatform::kServer;
+  std::uint64_t packets = 0;
+  /// Mean cycles actually charged per packet (includes jitter sampling
+  /// and the NUMA cross-socket factor the core applied).
+  double cycles_per_packet = 0;
+};
+
+/// JSON array of profiles (stable field order, one object per NF).
+[[nodiscard]] std::string to_json(
+    const std::vector<MeasuredNfProfile>& profiles);
+
+}  // namespace lemur::telemetry

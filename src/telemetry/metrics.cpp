@@ -1,0 +1,94 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/telemetry/json.h"
+
+namespace lemur::telemetry {
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::bucket_value(int index) {
+  if (index < kSubBuckets) return index;
+  const int rel = index - kSubBuckets;
+  const int shift = rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  const std::uint64_t lower =
+      static_cast<std::uint64_t>(kSubBuckets + sub) << shift;
+  const std::uint64_t width = 1ull << shift;
+  return static_cast<double>(lower) +
+         static_cast<double>(width - 1) / 2.0;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q >= 1.0) return static_cast<double>(max_);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (cumulative >= target) {
+      return std::clamp(bucket_value(i), static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+double LatencyHistogram::fraction_above(std::uint64_t v) const {
+  if (count_ == 0) return 0;
+  const int boundary = bucket_index(v);
+  std::uint64_t above = 0;
+  for (int i = boundary + 1; i < kNumBuckets; ++i) {
+    above += buckets_[static_cast<std::size_t>(i)];
+  }
+  return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c.value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("value", g.value());
+    w.kv("max", g.max());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h.count());
+    w.kv("mean", h.mean());
+    w.kv("p50", h.quantile(0.50));
+    w.kv("p95", h.quantile(0.95));
+    w.kv("p99", h.quantile(0.99));
+    w.kv("max", static_cast<std::uint64_t>(h.max()));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace lemur::telemetry

@@ -1,0 +1,133 @@
+// The metrics registry: counters, gauges, and log-bucketed latency
+// histograms with fixed memory and lossless merging. This is the
+// observability substrate the SLO monitor and the stats exporter read —
+// tail percentiles (p50/p95/p99/max), not means, are what SLO enforcement
+// must observe (the runtime's old per-chain mean hid every d_max tail
+// violation).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lemur::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  double value_ = 0;
+  double max_ = 0;
+};
+
+/// Log-bucketed histogram over non-negative integer samples (nanoseconds,
+/// queue depths, ...). HDR-style layout: values below 2^kSubBucketBits are
+/// exact; above that, each power-of-two octave splits into kSubBuckets
+/// linear sub-buckets, bounding the relative quantile error by
+/// 1/(2*kSubBuckets) ≈ 1.6% — comfortably inside the 5% accuracy the
+/// profiling/SLO experiments need. Fixed memory (~15 KB), mergeable by
+/// bucket-wise addition.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kNumBuckets = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  void record(std::uint64_t v, std::uint64_t n = 1) {
+    buckets_[static_cast<std::size_t>(bucket_index(v))] += n;
+    count_ += n;
+    sum_ += v * n;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0
+               ? static_cast<double>(sum_) / static_cast<double>(count_)
+               : 0;
+  }
+
+  /// Value at quantile q in [0, 1]: the representative (midpoint) of the
+  /// bucket holding the ceil(q * count)-th sample, clamped to the exact
+  /// observed [min, max].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Fraction of samples whose bucket lies strictly above `v`.
+  [[nodiscard]] double fraction_above(std::uint64_t v) const;
+
+  /// Maps a sample to its bucket; exposed for tests.
+  [[nodiscard]] static int bucket_index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - kSubBucketBits;
+    const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+    return (msb - kSubBucketBits) * kSubBuckets + sub + kSubBuckets;
+  }
+
+  /// Representative value (arithmetic midpoint) of a bucket.
+  [[nodiscard]] static double bucket_value(int index);
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metrics, created on first access. Keys are dotted paths
+/// ("chain0.latency_ns", "server1.wire_queue_depth"); std::map keeps the
+/// JSON export deterministically ordered.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, LatencyHistogram>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count, mean, p50, p95, p99, max}}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace lemur::telemetry

@@ -7,11 +7,16 @@
 //   lemur_cli --spec my_chain.lemur --t-min 2 --print-p4
 //   lemur_cli --chain 5 --smartnic --strategy optimal
 //   lemur_cli verify --chain 2 --delta 0.5
+//   lemur_cli stats --chain 1 --chain 3 --measure 10 --json out.json
 //
 // Subcommands:
 //   verify           compile the placement's artifacts and print the
 //                    deployment verifier's diagnostic report (exit 1 on
 //                    error-severity findings)
+//   stats            deploy, measure (default 5 ms), and emit the full
+//                    telemetry snapshot as JSON: per-chain percentiles,
+//                    SLO compliance report, drop attribution, per-hop
+//                    latency table, measured NF profiles, raw metrics
 //
 // Options:
 //   --spec FILE      chain spec file (dataflow language); repeatable
@@ -30,6 +35,9 @@
 //   --pcap FILE      capture egress traffic to a pcap during --measure
 //   --print-p4       dump the unified P4 program
 //   --print-bess     dump the per-server BESS scripts
+//   --json FILE      (stats) write the JSON snapshot to FILE, not stdout
+//   --no-trace       (stats) disable per-hop tracing (drop attribution
+//                    and latency histograms stay on)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,6 +72,9 @@ struct CliOptions {
   bool print_p4 = false;
   bool print_bess = false;
   bool verify = false;
+  bool stats = false;
+  std::string json_path;
+  bool no_trace = false;
 };
 
 int usage(const char* argv0) {
@@ -95,6 +106,14 @@ int main(int argc, char** argv) {
     };
     if (arg == "verify" && i == 1) {
       cli.verify = true;
+    } else if (arg == "stats" && i == 1) {
+      cli.stats = true;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cli.json_path = v;
+    } else if (arg == "--no-trace") {
+      cli.no_trace = true;
     } else if (arg == "--spec") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -202,34 +221,42 @@ int main(int argc, char** argv) {
   metacompiler::CompilerOracle oracle(topo);
   auto placement =
       placer::place(cli.strategy, chains, topo, options, oracle);
-  std::printf("strategy %s on %zu chain(s), %d server(s) x %d cores%s%s\n",
-              placer::to_string(cli.strategy), chains.size(), cli.servers,
-              cli.cores, cli.smartnic ? " + SmartNIC" : "",
-              cli.openflow ? " + OpenFlow" : "");
+  // `stats` with JSON on stdout keeps stdout machine-readable; the
+  // placement narrative would corrupt it.
+  const bool quiet = cli.stats && cli.json_path.empty();
+  if (!quiet) {
+    std::printf("strategy %s on %zu chain(s), %d server(s) x %d cores%s%s\n",
+                placer::to_string(cli.strategy), chains.size(), cli.servers,
+                cli.cores, cli.smartnic ? " + SmartNIC" : "",
+                cli.openflow ? " + OpenFlow" : "");
+  }
   if (!placement.feasible) {
-    std::printf("INFEASIBLE: %s\n", placement.infeasible_reason.c_str());
+    std::fprintf(stderr, "INFEASIBLE: %s\n",
+                 placement.infeasible_reason.c_str());
     return 1;
   }
-  for (std::size_t c = 0; c < chains.size(); ++c) {
-    std::printf("\n%s (t_min %.2f, t_max %.2f):\n", chains[c].name.c_str(),
-                chains[c].slo.t_min_gbps, chains[c].slo.t_max_gbps);
-    for (const auto& node : chains[c].graph.nodes()) {
-      std::printf("  %-20s -> %s\n", node.instance_name.c_str(),
-                  placer::to_string(
-                      placement.chains[c]
-                          .nodes[static_cast<std::size_t>(node.id)]
-                          .target));
+  if (!quiet) {
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      std::printf("\n%s (t_min %.2f, t_max %.2f):\n", chains[c].name.c_str(),
+                  chains[c].slo.t_min_gbps, chains[c].slo.t_max_gbps);
+      for (const auto& node : chains[c].graph.nodes()) {
+        std::printf("  %-20s -> %s\n", node.instance_name.c_str(),
+                    placer::to_string(
+                        placement.chains[c]
+                            .nodes[static_cast<std::size_t>(node.id)]
+                            .target));
+      }
+      std::printf("  assigned %.2f Gbps, %d bounce(s), latency %.1f us\n",
+                  placement.chains[c].assigned_gbps,
+                  placement.chains[c].bounces,
+                  placement.chains[c].latency_us);
     }
-    std::printf("  assigned %.2f Gbps, %d bounce(s), latency %.1f us\n",
-                placement.chains[c].assigned_gbps,
-                placement.chains[c].bounces,
-                placement.chains[c].latency_us);
+    std::printf("\naggregate %.2f Gbps (marginal %.2f), %d switch stages, "
+                "%d cores, placed in %.3f s\n",
+                placement.aggregate_gbps, placement.marginal_gbps(),
+                placement.pisa_stages_used, placement.cores_used,
+                placement.placement_seconds);
   }
-  std::printf("\naggregate %.2f Gbps (marginal %.2f), %d switch stages, "
-              "%d cores, placed in %.3f s\n",
-              placement.aggregate_gbps, placement.marginal_gbps(),
-              placement.pisa_stages_used, placement.cores_used,
-              placement.placement_seconds);
 
   if (cli.verify) {
     auto artifacts = metacompiler::compile(chains, placement, topo);
@@ -246,11 +273,12 @@ int main(int argc, char** argv) {
     return artifacts.verification.has_errors() ? 1 : 0;
   }
 
+  if (cli.stats && cli.measure_ms <= 0) cli.measure_ms = 5.0;
   if (!cli.print_p4 && !cli.print_bess && cli.measure_ms <= 0) return 0;
 
   auto artifacts = metacompiler::compile(chains, placement, topo);
   if (!artifacts.ok) {
-    std::printf("metacompiler error: %s\n", artifacts.error.c_str());
+    std::fprintf(stderr, "metacompiler error: %s\n", artifacts.error.c_str());
     return 1;
   }
   if (cli.print_p4) {
@@ -267,25 +295,60 @@ int main(int argc, char** argv) {
   if (cli.measure_ms > 0) {
     runtime::Testbed testbed(chains, placement, artifacts, topo);
     if (!testbed.ok()) {
-      std::printf("deployment error: %s\n", testbed.error().c_str());
+      std::fprintf(stderr, "deployment error: %s\n",
+                   testbed.error().c_str());
       return 1;
     }
+    if (cli.no_trace) testbed.set_tracing(false);
     if (!cli.pcap_path.empty() &&
         !testbed.capture_egress_to(cli.pcap_path)) {
-      std::printf("cannot open pcap '%s'\n", cli.pcap_path.c_str());
+      std::fprintf(stderr, "cannot open pcap '%s'\n", cli.pcap_path.c_str());
       return 1;
     }
     auto m = testbed.run(cli.measure_ms);
+
+    if (cli.stats) {
+      const std::string json = testbed.stats_json(m);
+      if (!cli.json_path.empty()) {
+        std::ofstream out(cli.json_path);
+        if (!out) {
+          std::fprintf(stderr, "cannot open '%s'\n", cli.json_path.c_str());
+          return 1;
+        }
+        out << json << '\n';
+        std::printf("\ntelemetry snapshot written to %s (%zu bytes)\n",
+                    cli.json_path.c_str(), json.size() + 1);
+      } else {
+        std::printf("%s\n", json.c_str());
+      }
+      // Human-readable compliance verdict on stderr, where it never
+      // pollutes the JSON stream.
+      std::fprintf(stderr, "%s\n", m.slo.to_string().c_str());
+      return 0;
+    }
+
     std::printf("\nmeasured over %.1f ms:\n", cli.measure_ms);
     for (std::size_t c = 0; c < chains.size(); ++c) {
-      std::printf("  %-20s %8.2f Gbps, latency %6.1f us\n",
+      std::printf("  %-20s %8.2f Gbps, latency %6.1f us "
+                  "(p50 %.1f, p99 %.1f, max %.1f)\n",
                   chains[c].name.c_str(), m.chain_gbps[c],
-                  m.chain_latency_us[c]);
+                  m.chain_latency_us[c], m.chain_p50_us[c],
+                  m.chain_p99_us[c], m.chain_max_us[c]);
     }
-    std::printf("  aggregate %.2f Gbps (%llu packets, %llu dropped)\n",
+    std::printf("  aggregate %.2f Gbps (%llu packets, %llu dropped, "
+                "%llu queued at end)\n",
                 m.aggregate_gbps,
                 static_cast<unsigned long long>(m.delivered_packets),
-                static_cast<unsigned long long>(m.dropped_packets));
+                static_cast<unsigned long long>(m.dropped_packets),
+                static_cast<unsigned long long>(m.residual_queued));
+    for (const auto& [key, count] : m.drops.cells()) {
+      const auto& [drop_chain, platform, cause] = key;
+      std::printf("    drop: chain %d @ %s, %s: %llu\n", drop_chain + 1,
+                  std::string(net::to_string(platform)).c_str(),
+                  telemetry::to_string(cause),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("%s\n", m.slo.to_string().c_str());
   }
   return 0;
 }
