@@ -4,11 +4,25 @@
 # any compiler warning in either. src/verify additionally builds with
 # -Werror (see src/verify/CMakeLists.txt).
 #
+# Builds go into a throwaway temp directory (removed on exit) so CI never
+# pollutes the work tree or reuses a stale cache; set LEMUR_CI_KEEP=1 to
+# keep it for debugging.
+#
 # Usage: ./ci.sh [jobs]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")" && pwd)"
 jobs="${1:-$(nproc)}"
+
+ci_root="$(mktemp -d -t lemur-ci.XXXXXX)"
+cleanup() {
+  if [[ "${LEMUR_CI_KEEP:-0}" == "1" ]]; then
+    echo "==== keeping build trees in $ci_root ===="
+  else
+    rm -rf "$ci_root"
+  fi
+}
+trap cleanup EXIT
 
 run_config() {
   local name="$1" build_dir="$2"
@@ -34,15 +48,22 @@ run_config() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 }
 
-run_config normal "$repo_root/build"
+run_config normal "$ci_root/build"
 
 # Telemetry smoke: fig2 workload with tracing on/off. Fails on broken
 # packet conservation, trace-continuity errors, or >10% tracing
 # overhead; leaves BENCH_telemetry.json next to the build tree.
 echo "==== [normal] telemetry smoke ===="
-(cd "$repo_root/build" && ./bench/telemetry_smoke)
+(cd "$ci_root/build" && ./bench/telemetry_smoke)
 
-run_config sanitize "$repo_root/build-sanitize" \
+# Dataplane fast path: pooled vs unpooled pps, parse-once on/off, flat vs
+# std flow tables. Fails on conservation/parity breakage, or when pooled
+# pps regresses >10% below the committed BENCH_dataplane.json baseline.
+echo "==== [normal] dataplane micro ===="
+(cd "$ci_root/build" &&
+ ./bench/dataplane_micro --baseline "$repo_root/BENCH_dataplane.json")
+
+run_config sanitize "$ci_root/build-sanitize" \
   -DLEMUR_SANITIZE="address;undefined"
 
 echo "==== CI OK: both configurations green ===="

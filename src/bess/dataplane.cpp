@@ -38,7 +38,7 @@ void ServerDataplane::run_until_ns(std::uint64_t horizon_ns) {
       const std::uint64_t quantum_end = std::min(
           horizon_cycles,
           cycles + static_cast<std::uint64_t>(20000.0 * ghz));
-      Context ctx(&cycles, ghz, &rng_, numa_factor(core));
+      Context ctx(&cycles, ghz, &rng_, numa_factor(core), pool_);
       int ticks = 0;
       while (cycles < quantum_end && ticks < 64) {
         schedulers_[static_cast<std::size_t>(core)].tick(ctx);

@@ -42,6 +42,10 @@ class ServerDataplane {
     return core / spec_.cores_per_socket;
   }
 
+  /// Pool modules recycle discarded packets into (nullptr = none). Owned
+  /// by the testbed; must outlive the dataplane's run calls.
+  void set_packet_pool(net::PacketPool* pool) { pool_ = pool; }
+
   /// Cycle-cost multiplier for a core: cross_numa_factor when the core's
   /// socket differs from the NIC's socket.
   [[nodiscard]] double numa_factor(int core) const;
@@ -68,6 +72,7 @@ class ServerDataplane {
   std::vector<CoreScheduler> schedulers_;
   std::vector<std::uint64_t> cycles_;
   std::mt19937_64 rng_;
+  net::PacketPool* pool_ = nullptr;
 };
 
 }  // namespace lemur::bess

@@ -17,16 +17,17 @@ void Module::emit(Context& ctx, int ogate, net::PacketBatch&& batch) {
   if (ogate < 0 || static_cast<std::size_t>(ogate) >= ogates_.size() ||
       ogates_[static_cast<std::size_t>(ogate)] == nullptr) {
     count_drops(batch);  // Unconnected gate: terminal loss, charged here.
+    ctx.recycle_all(std::move(batch));
     return;
   }
   ogates_[static_cast<std::size_t>(ogate)]->process(ctx, std::move(batch));
 }
 
 void Sink::process(Context& ctx, net::PacketBatch&& batch) {
-  (void)ctx;
   count_in(batch);
   packets_ += batch.size();
   bytes_ += batch.total_bytes();
+  ctx.recycle_all(std::move(batch));
 }
 
 }  // namespace lemur::bess

@@ -18,19 +18,22 @@
 #include <vector>
 
 #include "src/net/batch.h"
+#include "src/net/packet_pool.h"
 
 namespace lemur::bess {
 
 /// Per-task execution context: the virtual clock of the core the task runs
-/// on, plus a deterministic RNG for cost-jitter models.
+/// on, a deterministic RNG for cost-jitter models, and (optionally) the
+/// rack's packet pool so modules recycle the packets they discard.
 class Context {
  public:
   Context(std::uint64_t* core_cycles, double clock_ghz, std::mt19937_64* rng,
-          double cost_factor = 1.0)
+          double cost_factor = 1.0, net::PacketPool* pool = nullptr)
       : core_cycles_(core_cycles),
         clock_ghz_(clock_ghz),
         rng_(rng),
-        cost_factor_(cost_factor) {}
+        cost_factor_(cost_factor),
+        pool_(pool) {}
 
   /// Adds processing cost to the core's virtual clock.
   void charge(std::uint64_t cycles) { *core_cycles_ += cycles; }
@@ -54,11 +57,20 @@ class Context {
   [[nodiscard]] double clock_ghz() const { return clock_ghz_; }
   [[nodiscard]] std::mt19937_64& rng() { return *rng_; }
 
+  /// Returns a dead packet's buffers to the rack pool (no-op without one).
+  void recycle(net::Packet&& pkt) {
+    if (pool_ != nullptr) pool_->release(std::move(pkt));
+  }
+  void recycle_all(net::PacketBatch&& batch) {
+    if (pool_ != nullptr) pool_->release_all(std::move(batch));
+  }
+
  private:
   std::uint64_t* core_cycles_;
   double clock_ghz_;
   std::mt19937_64* rng_;
   double cost_factor_;
+  net::PacketPool* pool_;
 };
 
 /// A dataflow module. Modules form a DAG via output gates; process()

@@ -1,33 +1,59 @@
 #include "src/bess/nsh_modules.h"
 
+#include <algorithm>
+
 #include "src/net/packet.h"
 
 namespace lemur::bess {
 
 void NshDecap::map(std::uint32_t spi, std::uint8_t si, int ogate) {
-  gates_[{spi, si}] = ogate;
+  gates_[key(spi, si)] = ogate;
 }
 
 void NshDecap::process(Context& ctx, net::PacketBatch&& batch) {
   count_in(batch);
   ctx.charge(kDecapCyclesPerPacket * batch.size());
-  // Partition the batch per output gate, preserving order within a gate.
-  std::map<int, net::PacketBatch> out;
+  // Partition the batch per output gate: consecutive same-gate packets
+  // accumulate in `run` and splice into their gate's group in one move.
+  // Groups are emitted in ascending gate order with intra-gate order
+  // preserved — the same semantics the old std::map partition had.
+  std::vector<std::pair<int, net::PacketBatch>> out;
+  net::PacketBatch run;
+  int run_gate = 0;
+  auto flush_run = [&] {
+    if (run.empty()) return;
+    auto it = std::find_if(out.begin(), out.end(), [&](const auto& entry) {
+      return entry.first == run_gate;
+    });
+    if (it == out.end()) {
+      out.emplace_back(run_gate, net::PacketBatch{});
+      it = std::prev(out.end());
+    }
+    run.move_all_to(it->second);
+  };
   for (auto& pkt : batch) {
     const auto nsh = net::pop_nsh(pkt);
     if (!nsh) {
       ++unmapped_drops_;
       count_drop(pkt);
+      ctx.recycle(std::move(pkt));
       continue;
     }
-    auto it = gates_.find({nsh->spi, nsh->si});
+    const auto it = gates_.find(key(nsh->spi, nsh->si));
     if (it == gates_.end()) {
       ++unmapped_drops_;
       count_drop(pkt);
+      ctx.recycle(std::move(pkt));
       continue;
     }
-    out[it->second].push(std::move(pkt));
+    if (!run.empty() && it->second != run_gate) flush_run();
+    run_gate = it->second;
+    run.push(std::move(pkt));
   }
+  flush_run();
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
   for (auto& [gate, sub] : out) emit(ctx, gate, std::move(sub));
 }
 

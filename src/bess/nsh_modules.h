@@ -8,9 +8,8 @@
 //    instances, costing the paper's measured ~180 cycles/packet.
 #pragma once
 
-#include <map>
-
 #include "src/bess/module.h"
+#include "src/net/flat_table.h"
 
 namespace lemur::bess {
 
@@ -32,7 +31,11 @@ class NshDecap : public Module {
   }
 
  private:
-  std::map<std::pair<std::uint32_t, std::uint8_t>, int> gates_;
+  static std::uint64_t key(std::uint32_t spi, std::uint8_t si) {
+    return (static_cast<std::uint64_t>(spi) << 8) | si;
+  }
+
+  net::FlatFlowTable<std::uint64_t, int> gates_;
   std::uint64_t unmapped_drops_ = 0;
 };
 

@@ -31,7 +31,11 @@ void PortOut::process(Context& ctx, net::PacketBatch&& batch) {
   for (const auto& pkt : batch) {
     latency_sum_ns_ += now > pkt.arrival_ns ? now - pkt.arrival_ns : 0;
   }
-  if (sink_ != nullptr) sink_->push(std::move(batch), now);
+  if (sink_ != nullptr) {
+    sink_->push(std::move(batch), now);
+  } else {
+    ctx.recycle_all(std::move(batch));
+  }
 }
 
 double PortOut::mean_latency_ns() const {

@@ -3,12 +3,12 @@
 namespace lemur::bess {
 
 void Queue::process(Context& ctx, net::PacketBatch&& batch) {
-  (void)ctx;
   count_in(batch);
   for (auto& pkt : batch) {
     if (fifo_.size() >= capacity_) {
       ++drops_;  // Tail drop.
       count_drop(pkt);
+      ctx.recycle(std::move(pkt));
     } else {
       fifo_.push_back(std::move(pkt));
     }

@@ -17,7 +17,25 @@ class PacketBatch {
 
   PacketBatch() = default;
 
-  void push(Packet pkt) { packets_.push_back(std::move(pkt)); }
+  void push(Packet pkt) {
+    // One up-front reservation instead of growth doublings: batches are
+    // bounded by kMaxBatch on every hot path.
+    if (packets_.capacity() == 0) packets_.reserve(kMaxBatch);
+    packets_.push_back(std::move(pkt));
+  }
+
+  /// Splices every packet into `dst` (appending) and leaves this batch
+  /// empty. When `dst` is empty its storage is swapped in wholesale.
+  void move_all_to(PacketBatch& dst) {
+    if (dst.packets_.empty()) {
+      std::swap(packets_, dst.packets_);
+    } else {
+      dst.packets_.insert(dst.packets_.end(),
+                          std::make_move_iterator(packets_.begin()),
+                          std::make_move_iterator(packets_.end()));
+      packets_.clear();
+    }
+  }
 
   [[nodiscard]] std::size_t size() const { return packets_.size(); }
   [[nodiscard]] bool empty() const { return packets_.empty(); }

@@ -1,0 +1,257 @@
+// Open-addressing hash table for per-flow NF state. Robin-hood insertion
+// (displace richer entries) keeps probe sequences short and variance low;
+// backward-shift deletion avoids tombstones, so lookups stay one cache
+// line per probe even under the NAT's constant churn. Slots live in one
+// contiguous array, which is what makes the batch-level prefetch() useful:
+// the NF loop prefetches every packet's ideal bucket before touching any
+// flow state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lemur::net {
+
+/// Default hasher: finalizes std::hash with a splitmix64-style mix so that
+/// sequential keys (ports, counters) still spread across the table. FiveTuple
+/// already provides an FNV-1a std::hash specialization, which this mixes
+/// further — cheap insurance, not a correctness requirement.
+template <typename K>
+struct FlatTableHash {
+  std::size_t operator()(const K& key) const {
+    std::uint64_t x = static_cast<std::uint64_t>(std::hash<K>{}(key));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+template <typename K, typename V, typename Hash = FlatTableHash<K>>
+class FlatFlowTable {
+  struct Slot {
+    K key{};
+    V value{};
+    // Probe distance from the ideal bucket plus one; 0 marks an empty slot.
+    std::uint32_t dib = 0;
+  };
+
+ public:
+  using value_type = std::pair<const K&, V&>;
+  using const_value_type = std::pair<const K&, const V&>;
+
+  template <bool Const>
+  class Iterator {
+    using TablePtr =
+        std::conditional_t<Const, const FlatFlowTable*, FlatFlowTable*>;
+    using Ref = std::conditional_t<Const, const_value_type, value_type>;
+
+   public:
+    Iterator(TablePtr table, std::size_t index) : table_(table), index_(index) {
+      skip_empty();
+    }
+
+    Ref operator*() const {
+      auto& slot = table_->slots_[index_];
+      return Ref{slot.key, slot.value};
+    }
+
+    // Arrow support for `it->first` / `it->second` over the proxy pair.
+    struct ArrowProxy {
+      Ref ref;
+      Ref* operator->() { return &ref; }
+    };
+    ArrowProxy operator->() const { return ArrowProxy{**this}; }
+
+    Iterator& operator++() {
+      ++index_;
+      skip_empty();
+      return *this;
+    }
+
+    bool operator==(const Iterator& other) const {
+      return index_ == other.index_;
+    }
+    bool operator!=(const Iterator& other) const { return !(*this == other); }
+
+   private:
+    void skip_empty() {
+      while (index_ < table_->slots_.size() &&
+             table_->slots_[index_].dib == 0) {
+        ++index_;
+      }
+    }
+
+    friend class FlatFlowTable;
+    TablePtr table_;
+    std::size_t index_;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+
+  FlatFlowTable() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slots_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+  void clear() {
+    slots_.assign(slots_.size(), Slot{});
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want * 7 / 10 < n) want *= 2;
+    if (want > capacity()) rehash(want);
+  }
+
+  /// Prefetches the key's ideal bucket (the first probe's cache line).
+  void prefetch(const K& key) const {
+    if (slots_.empty()) return;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[index_of(key)]);
+#endif
+  }
+
+  iterator find(const K& key) {
+    return iterator(this, find_slot(key));
+  }
+  const_iterator find(const K& key) const {
+    return const_iterator(this, find_slot(key));
+  }
+  [[nodiscard]] bool contains(const K& key) const {
+    return find_slot(key) != slots_.size();
+  }
+
+  V& operator[](const K& key) {
+    bool inserted = false;
+    return slots_[insert_slot(key, V{}, inserted)].value;
+  }
+
+  std::pair<iterator, bool> emplace(const K& key, V value) {
+    bool inserted = false;
+    const std::size_t index = insert_slot(key, std::move(value), inserted);
+    return {iterator(this, index), inserted};
+  }
+
+  std::size_t erase(const K& key) {
+    const std::size_t index = find_slot(key);
+    if (index == slots_.size()) return 0;
+    erase_at(index);
+    return 1;
+  }
+
+  /// Erases the pointed-to entry; returns an iterator at the same slot
+  /// (backward-shift deletion pulls successors down, so no unvisited entry
+  /// is skipped when iterating forward).
+  iterator erase(iterator it) {
+    erase_at(it.index_);
+    return iterator(this, it.index_);
+  }
+
+ private:
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  [[nodiscard]] std::size_t index_of(const K& key) const {
+    return Hash{}(key) & (slots_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t find_slot(const K& key) const {
+    if (slots_.empty()) return slots_.size();
+    std::size_t index = index_of(key);
+    std::uint32_t dib = 1;
+    for (;;) {
+      const Slot& slot = slots_[index];
+      // Robin-hood invariant: a present key can never sit behind a slot
+      // that is empty or richer (smaller probe distance) than the probe.
+      if (slot.dib < dib) return slots_.size();
+      if (slot.dib == dib && slot.key == key) return index;
+      ++dib;
+      index = (index + 1) & (slots_.size() - 1);
+    }
+  }
+
+  std::size_t insert_slot(const K& key, V&& value, bool& inserted) {
+    if (slots_.empty() || (size_ + 1) * 10 > capacity() * 7) {
+      rehash(slots_.empty() ? 16 : capacity() * 2);
+    }
+    K carry_key = key;
+    V carry_value = std::move(value);
+    std::size_t index = index_of(carry_key);
+    std::uint32_t dib = 1;
+    bool carrying_original = true;
+    std::size_t original_index = slots_.size();
+    for (;;) {
+      Slot& slot = slots_[index];
+      if (slot.dib == 0) {
+        slot.key = std::move(carry_key);
+        slot.value = std::move(carry_value);
+        slot.dib = dib;
+        ++size_;
+        // Reaching an empty slot means the duplicate check never fired,
+        // so the original key is new even when it displaced an entry and
+        // something else is being carried at this point.
+        inserted = true;
+        return carrying_original ? index : original_index;
+      }
+      if (carrying_original && slot.dib == dib && slot.key == carry_key) {
+        inserted = false;
+        return index;
+      }
+      if (slot.dib < dib) {
+        std::swap(slot.key, carry_key);
+        std::swap(slot.value, carry_value);
+        std::swap(slot.dib, dib);
+        if (carrying_original) {
+          carrying_original = false;
+          original_index = index;
+        }
+      }
+      ++dib;
+      index = (index + 1) & (slots_.size() - 1);
+    }
+  }
+
+  void erase_at(std::size_t index) {
+    for (;;) {
+      const std::size_t next = (index + 1) & (slots_.size() - 1);
+      Slot& successor = slots_[next];
+      if (successor.dib <= 1) break;  // Empty or already at its ideal slot.
+      slots_[index].key = std::move(successor.key);
+      slots_[index].value = std::move(successor.value);
+      slots_[index].dib = successor.dib - 1;
+      index = next;
+    }
+    slots_[index] = Slot{};
+    --size_;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(new_capacity);
+    size_ = 0;
+    for (auto& slot : old) {
+      if (slot.dib == 0) continue;
+      bool inserted = false;
+      insert_slot(slot.key, std::move(slot.value), inserted);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lemur::net

@@ -47,8 +47,8 @@ std::optional<FiveTuple> FiveTuple::from(const ParsedLayers& layers) {
 }
 
 std::optional<FiveTuple> FiveTuple::from(const Packet& pkt) {
-  auto layers = ParsedLayers::parse(pkt);
-  if (!layers) return std::nullopt;
+  const ParsedLayers* layers = pkt.layers();
+  if (layers == nullptr) return std::nullopt;
   return from(*layers);
 }
 

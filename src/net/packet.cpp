@@ -36,7 +36,51 @@ void write_u16(Packet& pkt, std::size_t off, std::uint16_t v) {
   pkt.data[off + 1] = static_cast<std::uint8_t>(v);
 }
 
+bool g_parse_cache = true;
+ParseCacheStats g_parse_cache_stats;
+
 }  // namespace
+
+void set_parse_cache_enabled(bool enabled) { g_parse_cache = enabled; }
+bool parse_cache_enabled() { return g_parse_cache; }
+const ParseCacheStats& parse_cache_stats() { return g_parse_cache_stats; }
+void reset_parse_cache_stats() { g_parse_cache_stats = {}; }
+
+const ParsedLayers* Packet::layers() const {
+  if (g_parse_cache && cache_gen_ == buffer_gen_) {
+    ++g_parse_cache_stats.hits;
+    return parse_ok_ ? &*cache_ : nullptr;
+  }
+  ++g_parse_cache_stats.misses;
+  auto parsed = ParsedLayers::parse(*this);
+  parse_ok_ = parsed.has_value();
+  if (parsed) {
+    cache_ = *std::move(parsed);
+  } else {
+    cache_.reset();
+  }
+  // When the cache is disabled, record a generation that never matches so
+  // every call reparses — the pre-cache behaviour.
+  cache_gen_ = g_parse_cache ? buffer_gen_ : buffer_gen_ - 1;
+  return parse_ok_ ? &*cache_ : nullptr;
+}
+
+void Packet::store_layers(const ParsedLayers& layers) const {
+  if (!g_parse_cache) return;
+  cache_ = layers;
+  parse_ok_ = true;
+  cache_gen_ = buffer_gen_;
+}
+
+void Packet::reset_for_reuse() {
+  data.clear();
+  hops.clear();
+  arrival_ns = 0;
+  ingress_port = 0;
+  aggregate_id = 0;
+  drop = false;
+  ++buffer_gen_;
+}
 
 std::optional<ParsedLayers> ParsedLayers::parse(const Packet& pkt) {
   BufReader r(pkt.data);
@@ -88,13 +132,23 @@ std::optional<ParsedLayers> ParsedLayers::parse(const Packet& pkt) {
 
 void patch_ipv4(Packet& pkt, const ParsedLayers& layers, const Ipv4Header& h) {
   assert(layers.ipv4.has_value());
+  const std::size_t off = layers.ipv4_offset;
   std::vector<std::uint8_t> tmp;
   tmp.reserve(Ipv4Header::kMinSize);
   BufWriter w(tmp);
   h.encode(w);
-  assert(layers.ipv4_offset + tmp.size() <= pkt.data.size());
-  std::copy(tmp.begin(), tmp.end(), pkt.data.begin() +
-            static_cast<std::ptrdiff_t>(layers.ipv4_offset));
+  assert(off + tmp.size() <= pkt.data.size());
+  std::copy(tmp.begin(), tmp.end(),
+            pkt.data.begin() + static_cast<std::ptrdiff_t>(off));
+  // Field rewrite at a fixed offset: keep the cached parse coherent (the
+  // checksum is re-read from the freshly encoded bytes).
+  if (auto* cached = pkt.mutable_layers();
+      cached != nullptr && cached->ipv4 && cached->ipv4_offset == off) {
+    cached->ipv4 = h;
+    cached->ipv4->checksum = read_u16(pkt, off + 10);
+  } else {
+    pkt.invalidate_layers();
+  }
 }
 
 void patch_l4_ports(Packet& pkt, const ParsedLayers& layers,
@@ -102,6 +156,27 @@ void patch_l4_ports(Packet& pkt, const ParsedLayers& layers,
   if (!layers.tcp && !layers.udp) return;
   write_u16(pkt, layers.l4_offset, src_port);
   write_u16(pkt, layers.l4_offset + 2, dst_port);
+  if (auto* cached = pkt.mutable_layers();
+      cached != nullptr && cached->l4_offset == layers.l4_offset) {
+    if (cached->tcp) {
+      cached->tcp->src_port = src_port;
+      cached->tcp->dst_port = dst_port;
+    }
+    if (cached->udp) {
+      cached->udp->src_port = src_port;
+      cached->udp->dst_port = dst_port;
+    }
+  } else {
+    pkt.invalidate_layers();
+  }
+}
+
+void patch_eth_dst(Packet& pkt, const MacAddr& mac) {
+  if (pkt.data.size() < EthernetHeader::kSize) return;
+  std::copy(mac.bytes.begin(), mac.bytes.end(), pkt.data.begin());
+  if (auto* cached = pkt.mutable_layers(); cached != nullptr) {
+    cached->eth.dst = mac;
+  }
 }
 
 void push_vlan(Packet& pkt, std::uint16_t vid, std::uint8_t pcp) {
@@ -118,22 +193,25 @@ void push_vlan(Packet& pkt, std::uint16_t vid, std::uint8_t pcp) {
   tag.encode(w);
   pkt.data.insert(pkt.data.begin() + EthernetHeader::kSize, bytes.begin(),
                   bytes.end());
+  pkt.invalidate_layers();
 }
 
 std::optional<VlanHeader> pop_vlan(Packet& pkt) {
-  auto layers = ParsedLayers::parse(pkt);
-  if (!layers || !layers->vlan) return std::nullopt;
+  const ParsedLayers* layers = pkt.layers();
+  if (layers == nullptr || !layers->vlan) return std::nullopt;
   const VlanHeader tag = *layers->vlan;
+  const std::size_t vlan_offset = layers->vlan_offset;
   write_u16(pkt, 12, tag.ether_type);
   const auto begin =
-      pkt.data.begin() + static_cast<std::ptrdiff_t>(layers->vlan_offset);
+      pkt.data.begin() + static_cast<std::ptrdiff_t>(vlan_offset);
   pkt.data.erase(begin, begin + VlanHeader::kSize);
+  pkt.invalidate_layers();
   return tag;
 }
 
 void push_nsh(Packet& pkt, std::uint32_t spi, std::uint8_t si) {
-  auto layers = ParsedLayers::parse(pkt);
-  if (!layers || layers->nsh) return;  // Never double-encapsulate.
+  const ParsedLayers* layers = pkt.layers();
+  if (layers == nullptr || layers->nsh) return;  // Never double-encapsulate.
   const std::size_t type_off = outer_ethertype_offset(*layers);
   const std::uint16_t inner_type = read_u16(pkt, type_off);
   write_u16(pkt, type_off, static_cast<std::uint16_t>(EtherType::kNsh));
@@ -149,36 +227,45 @@ void push_nsh(Packet& pkt, std::uint32_t spi, std::uint8_t si) {
   nsh.encode(w);
   pkt.data.insert(pkt.data.begin() + static_cast<std::ptrdiff_t>(type_off + 2),
                   bytes.begin(), bytes.end());
+  pkt.invalidate_layers();
 }
 
 std::optional<NshHeader> pop_nsh(Packet& pkt) {
-  auto layers = ParsedLayers::parse(pkt);
-  if (!layers || !layers->nsh) return std::nullopt;
+  const ParsedLayers* layers = pkt.layers();
+  if (layers == nullptr || !layers->nsh) return std::nullopt;
   const NshHeader nsh = *layers->nsh;
   const std::size_t type_off = outer_ethertype_offset(*layers);
+  const std::size_t nsh_offset = layers->nsh_offset;
   const std::uint16_t inner_type =
       nsh.next_proto == kNshProtoIpv4
           ? static_cast<std::uint16_t>(EtherType::kIpv4)
           : static_cast<std::uint16_t>(EtherType::kIpv4);
   write_u16(pkt, type_off, inner_type);
   const auto begin =
-      pkt.data.begin() + static_cast<std::ptrdiff_t>(layers->nsh_offset);
+      pkt.data.begin() + static_cast<std::ptrdiff_t>(nsh_offset);
   pkt.data.erase(begin, begin + NshHeader::kSize);
+  pkt.invalidate_layers();
   return nsh;
 }
 
 bool set_nsh(Packet& pkt, std::uint32_t spi, std::uint8_t si) {
-  auto layers = ParsedLayers::parse(pkt);
-  if (!layers || !layers->nsh) return false;
+  const ParsedLayers* layers = pkt.layers();
+  if (layers == nullptr || !layers->nsh) return false;
   NshHeader nsh = *layers->nsh;
   nsh.spi = spi;
   nsh.si = si;
+  const std::size_t nsh_offset = layers->nsh_offset;
   std::vector<std::uint8_t> bytes;
   bytes.reserve(NshHeader::kSize);
   BufWriter w(bytes);
   nsh.encode(w);
   std::copy(bytes.begin(), bytes.end(),
-            pkt.data.begin() + static_cast<std::ptrdiff_t>(layers->nsh_offset));
+            pkt.data.begin() + static_cast<std::ptrdiff_t>(nsh_offset));
+  if (auto* cached = pkt.mutable_layers(); cached != nullptr && cached->nsh) {
+    cached->nsh = nsh;
+  } else {
+    pkt.invalidate_layers();
+  }
   return true;
 }
 

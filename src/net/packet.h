@@ -4,6 +4,15 @@
 // time, ingress port, drop flag). ParsedLayers is a one-pass parse of the
 // layer stack with byte offsets retained so NFs can patch headers in place;
 // push/pop helpers rebuild the buffer for encapsulation changes (VLAN, NSH).
+//
+// Parse-once cache: Packet::layers() memoizes the parse under a buffer
+// generation counter. Helpers that restructure the frame (push/pop VLAN or
+// NSH, payload resize) bump the generation via invalidate_layers(); helpers
+// that rewrite fields in place (patch_ipv4, patch_l4_ports, set_nsh,
+// patch_eth_dst) keep the cached copy coherent instead, so a chain of
+// header-reading NFs parses once per platform hop. Code that writes
+// Packet::data directly without going through a helper must call
+// invalidate_layers() itself.
 #pragma once
 
 #include <cstdint>
@@ -38,21 +47,7 @@ struct PacketHop {
   std::uint64_t exit_ns = 0;   ///< Dequeue/departure toward the next hop.
 };
 
-/// A packet travelling through the simulated rack.
-struct Packet {
-  std::vector<std::uint8_t> data;  ///< Full frame starting at Ethernet.
-
-  std::uint64_t arrival_ns = 0;  ///< Virtual time the packet entered the rack.
-  std::uint32_t ingress_port = 0;
-  std::uint32_t aggregate_id = 0;  ///< Traffic aggregate (customer) id.
-  bool drop = false;               ///< Set by an NF to discard the packet.
-
-  /// Per-hop trace accumulated across platforms; empty unless the runtime
-  /// enables tracing.
-  std::vector<PacketHop> hops;
-
-  [[nodiscard]] std::size_t size() const { return data.size(); }
-};
+struct Packet;
 
 /// Result of parsing a packet's layer stack. Offsets index into
 /// Packet::data and remain valid until the buffer is resized.
@@ -76,12 +71,73 @@ struct ParsedLayers {
   static std::optional<ParsedLayers> parse(const Packet& pkt);
 };
 
+/// Toggles the per-packet parse cache process-wide (default on). Off forces
+/// layers() to reparse on every call — the pre-cache behaviour, kept for
+/// A/B benchmarking and parity tests.
+void set_parse_cache_enabled(bool enabled);
+[[nodiscard]] bool parse_cache_enabled();
+
+/// Cumulative layers() cache hit/miss counts (single-threaded counters).
+struct ParseCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+[[nodiscard]] const ParseCacheStats& parse_cache_stats();
+void reset_parse_cache_stats();
+
+/// A packet travelling through the simulated rack.
+struct Packet {
+  std::vector<std::uint8_t> data;  ///< Full frame starting at Ethernet.
+
+  std::uint64_t arrival_ns = 0;  ///< Virtual time the packet entered the rack.
+  std::uint32_t ingress_port = 0;
+  std::uint32_t aggregate_id = 0;  ///< Traffic aggregate (customer) id.
+  bool drop = false;               ///< Set by an NF to discard the packet.
+
+  /// Per-hop trace accumulated across platforms; empty unless the runtime
+  /// enables tracing.
+  std::vector<PacketHop> hops;
+
+  [[nodiscard]] std::size_t size() const { return data.size(); }
+
+  /// Parsed layer stack, memoized until invalidate_layers(). Returns
+  /// nullptr when even the Ethernet header is truncated. The pointer stays
+  /// valid until the next layers()/invalidate_layers() on this packet.
+  [[nodiscard]] const ParsedLayers* layers() const;
+
+  /// Marks the cached parse stale; the next layers() call reparses.
+  void invalidate_layers() { ++buffer_gen_; }
+
+  /// Cached parse for in-place maintenance after a field rewrite that does
+  /// not move offsets; nullptr when the cache is stale or disabled.
+  [[nodiscard]] ParsedLayers* mutable_layers() {
+    return cache_gen_ == buffer_gen_ && parse_ok_ ? &*cache_ : nullptr;
+  }
+
+  /// Replaces the cached parse wholesale (offsets must match the current
+  /// buffer); used by writers that already hold an up-to-date parse.
+  void store_layers(const ParsedLayers& layers) const;
+
+  /// Returns the packet to a just-constructed state while keeping the
+  /// capacity of the frame buffer and hop vector (the pool's whole point).
+  void reset_for_reuse();
+
+ private:
+  mutable std::optional<ParsedLayers> cache_;
+  mutable std::uint32_t cache_gen_ = 0;  ///< Generation cache_ was taken at.
+  std::uint32_t buffer_gen_ = 1;         ///< Bumped on structural change.
+  mutable bool parse_ok_ = false;
+};
+
 /// Re-encodes the IPv4 header (with a fresh checksum) at its parsed offset.
 void patch_ipv4(Packet& pkt, const ParsedLayers& layers, const Ipv4Header& h);
 
 /// Rewrites TCP/UDP ports at the parsed L4 offset. No-op if neither parsed.
 void patch_l4_ports(Packet& pkt, const ParsedLayers& layers,
                     std::uint16_t src_port, std::uint16_t dst_port);
+
+/// Rewrites the Ethernet destination MAC in place.
+void patch_eth_dst(Packet& pkt, const MacAddr& mac);
 
 /// Inserts an 802.1Q tag directly after the Ethernet header (outermost tag).
 void push_vlan(Packet& pkt, std::uint16_t vid, std::uint8_t pcp = 0);

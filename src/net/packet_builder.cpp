@@ -73,20 +73,28 @@ PacketBuilder& PacketBuilder::arrival_ns(std::uint64_t t) {
 }
 
 Packet PacketBuilder::build() const {
+  Packet pkt;
+  build_into(pkt);
+  return pkt;
+}
+
+void PacketBuilder::build_into(Packet& pkt) const {
   const bool is_tcp = tuple_.proto == static_cast<std::uint8_t>(IpProto::kTcp);
   const std::size_t l4_size = is_tcp ? TcpHeader::kMinSize : UdpHeader::kSize;
   const std::size_t base_size =
       EthernetHeader::kSize + Ipv4Header::kMinSize + l4_size;
 
-  std::vector<std::uint8_t> payload = payload_;
-  if (frame_size_ > base_size + payload.size()) {
-    payload.resize(frame_size_ - base_size, 0);
-  }
+  // Zero padding appended after the payload, without materializing a
+  // padded payload copy.
+  const std::size_t pad = frame_size_ > base_size + payload_.size()
+                              ? frame_size_ - base_size - payload_.size()
+                              : 0;
+  const std::size_t payload_size = payload_.size() + pad;
 
-  Packet pkt;
   pkt.aggregate_id = aggregate_id_;
   pkt.arrival_ns = arrival_ns_;
-  pkt.data.reserve(base_size + payload.size());
+  pkt.data.clear();
+  pkt.data.reserve(base_size + payload_size);
   BufWriter w(pkt.data);
 
   EthernetHeader eth;
@@ -97,7 +105,7 @@ Packet PacketBuilder::build() const {
 
   Ipv4Header ip;
   ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kMinSize + l4_size +
-                                               payload.size());
+                                               payload_size);
   ip.ttl = ttl_;
   ip.protocol = tuple_.proto;
   ip.src = tuple_.src_ip;
@@ -113,12 +121,13 @@ Packet PacketBuilder::build() const {
     UdpHeader udp;
     udp.src_port = tuple_.src_port;
     udp.dst_port = tuple_.dst_port;
-    udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+    udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload_size);
     udp.encode(w);
   }
 
-  w.bytes(payload);
-  return pkt;
+  w.bytes(payload_);
+  pkt.data.resize(pkt.data.size() + pad, 0);
+  pkt.invalidate_layers();
 }
 
 }  // namespace lemur::net

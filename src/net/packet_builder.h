@@ -36,6 +36,10 @@ class PacketBuilder {
 
   [[nodiscard]] Packet build() const;
 
+  /// Encodes into an existing packet (e.g. one recycled from a
+  /// PacketPool), reusing its buffer capacity. Equivalent to build().
+  void build_into(Packet& pkt) const;
+
  private:
   MacAddr src_mac_{{0x02, 0, 0, 0, 0, 0x01}};
   MacAddr dst_mac_{{0x02, 0, 0, 0, 0, 0x02}};

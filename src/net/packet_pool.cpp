@@ -1,0 +1,36 @@
+#include "src/net/packet_pool.h"
+
+namespace lemur::net {
+
+Packet PacketPool::acquire() {
+  if (!enabled_ || free_.empty()) {
+    ++stats_.allocated;
+    return Packet{};
+  }
+  Packet pkt = std::move(free_.back());
+  free_.pop_back();
+  pkt.reset_for_reuse();
+  ++stats_.reused;
+  return pkt;
+}
+
+void PacketPool::release(Packet&& pkt) {
+  if (!enabled_ || free_.size() >= max_free_) {
+    ++stats_.discarded;
+    return;
+  }
+  ++stats_.recycled;
+  free_.push_back(std::move(pkt));
+}
+
+void PacketPool::release_all(PacketBatch&& batch) {
+  for (auto& pkt : batch.packets()) release(std::move(pkt));
+  batch.clear();
+}
+
+void PacketPool::set_enabled(bool enabled) {
+  enabled_ = enabled;
+  if (!enabled_) free_.clear();
+}
+
+}  // namespace lemur::net

@@ -1,0 +1,56 @@
+// Arena of recycled Packet objects. Every platform hop in the simulated
+// rack used to pay a malloc/free pair per packet (frame buffer + hop
+// vector); the pool keeps dead packets on a free list and hands them back
+// with their buffer capacities intact, so steady-state traffic allocates
+// nothing. Single-threaded, like the simulator's packet path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/batch.h"
+#include "src/net/packet.h"
+
+namespace lemur::net {
+
+class PacketPool {
+ public:
+  /// Free-list cap: beyond this, released packets are simply destroyed
+  /// (bounds memory when a run ends with large queue residue).
+  static constexpr std::size_t kDefaultMaxFree = 1 << 16;
+
+  explicit PacketPool(std::size_t max_free = kDefaultMaxFree)
+      : max_free_(max_free) {}
+
+  /// Pops a recycled packet (reset to a just-constructed state, capacity
+  /// retained) or default-constructs one when the free list is empty.
+  [[nodiscard]] Packet acquire();
+
+  /// Returns a dead packet to the free list.
+  void release(Packet&& pkt);
+
+  /// Releases every packet in the batch and clears it.
+  void release_all(PacketBatch&& batch);
+
+  /// Off turns acquire/release into plain construct/destroy — the
+  /// unpooled baseline for A/B benchmarking. The free list is dropped.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  struct Stats {
+    std::uint64_t allocated = 0;  ///< acquire() with an empty free list.
+    std::uint64_t reused = 0;     ///< acquire() served from the free list.
+    std::uint64_t recycled = 0;   ///< release() kept the packet.
+    std::uint64_t discarded = 0;  ///< release() destroyed it (full/off).
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t free_size() const { return free_.size(); }
+
+ private:
+  std::vector<Packet> free_;
+  Stats stats_;
+  std::size_t max_free_;
+  bool enabled_ = true;
+};
+
+}  // namespace lemur::net

@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define LEMUR_AES_NI 1
+#endif
+
 namespace lemur::nf::crypto {
+
+namespace {
+bool g_fast_aes = true;
+}  // namespace
+
+void set_fast_aes(bool enabled) { g_fast_aes = enabled; }
+bool fast_aes_enabled() { return g_fast_aes; }
+
 namespace {
 
 // FIPS-197 S-box.
@@ -44,11 +57,11 @@ std::uint8_t inv_sbox(std::uint8_t y) {
   return table[y];
 }
 
-std::uint8_t xtime(std::uint8_t x) {
+constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
 }
 
-std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   std::uint8_t result = 0;
   while (b != 0) {
     if (b & 1) result ^= a;
@@ -57,6 +70,128 @@ std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   }
   return result;
 }
+
+constexpr std::uint32_t rotr32(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+// T-tables for the word-oriented fast path: Te0[x] is the MixColumns
+// output column for an input column (S[x],0,0,0) packed big-endian
+// (row 0 in the most significant byte); Te1..Te3 are byte rotations of
+// it, matching the other input rows. Td* is the same construction with
+// the inverse S-box and InvMixColumns.
+struct AesTables {
+  std::uint32_t te0[256], te1[256], te2[256], te3[256];
+  std::uint32_t td0[256], td1[256], td2[256], td3[256];
+  std::uint8_t inv_sbox[256];
+};
+
+constexpr AesTables make_tables() {
+  AesTables t{};
+  for (int i = 0; i < 256; ++i) {
+    t.inv_sbox[kSbox[i]] = static_cast<std::uint8_t>(i);
+  }
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint32_t e =
+        (static_cast<std::uint32_t>(gmul(s, 2)) << 24) |
+        (static_cast<std::uint32_t>(s) << 16) |
+        (static_cast<std::uint32_t>(s) << 8) |
+        static_cast<std::uint32_t>(gmul(s, 3));
+    t.te0[i] = e;
+    t.te1[i] = rotr32(e, 8);
+    t.te2[i] = rotr32(e, 16);
+    t.te3[i] = rotr32(e, 24);
+    const std::uint8_t is = t.inv_sbox[i];
+    const std::uint32_t d =
+        (static_cast<std::uint32_t>(gmul(is, 0x0e)) << 24) |
+        (static_cast<std::uint32_t>(gmul(is, 0x09)) << 16) |
+        (static_cast<std::uint32_t>(gmul(is, 0x0d)) << 8) |
+        static_cast<std::uint32_t>(gmul(is, 0x0b));
+    t.td0[i] = d;
+    t.td1[i] = rotr32(d, 8);
+    t.td2[i] = rotr32(d, 16);
+    t.td3[i] = rotr32(d, 24);
+  }
+  return t;
+}
+
+constexpr AesTables kTables = make_tables();
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t w) {
+  p[0] = static_cast<std::uint8_t>(w >> 24);
+  p[1] = static_cast<std::uint8_t>(w >> 16);
+  p[2] = static_cast<std::uint8_t>(w >> 8);
+  p[3] = static_cast<std::uint8_t>(w);
+}
+
+// InvMixColumns over one 16-byte round key, column-major — the transform
+// the equivalent inverse cipher applies to the middle round keys (and what
+// the aesimc instruction computes).
+std::array<std::uint8_t, 16> inv_mix_key(
+    const std::array<std::uint8_t, 16>& k) {
+  std::array<std::uint8_t, 16> out{};
+  for (int col = 0; col < 4; ++col) {
+    const std::uint8_t a0 = k[static_cast<std::size_t>(4 * col)];
+    const std::uint8_t a1 = k[static_cast<std::size_t>(4 * col + 1)];
+    const std::uint8_t a2 = k[static_cast<std::size_t>(4 * col + 2)];
+    const std::uint8_t a3 = k[static_cast<std::size_t>(4 * col + 3)];
+    out[static_cast<std::size_t>(4 * col)] =
+        gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
+    out[static_cast<std::size_t>(4 * col + 1)] =
+        gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
+    out[static_cast<std::size_t>(4 * col + 2)] =
+        gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
+    out[static_cast<std::size_t>(4 * col + 3)] =
+        gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
+  }
+  return out;
+}
+
+#ifdef LEMUR_AES_NI
+bool cpu_has_aesni() { return __builtin_cpu_supports("aes") != 0; }
+
+__attribute__((target("aes,sse2"))) void encrypt_block_aesni(
+    const std::array<std::array<std::uint8_t, 16>, 11>& rk,
+    std::uint8_t* block) {
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  s = _mm_xor_si128(
+      s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk[0].data())));
+  for (int r = 1; r < 10; ++r) {
+    s = _mm_aesenc_si128(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+               rk[static_cast<std::size_t>(r)].data())));
+  }
+  s = _mm_aesenclast_si128(
+      s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk[10].data())));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(block), s);
+}
+
+__attribute__((target("aes,sse2"))) void decrypt_block_aesni(
+    const std::array<std::array<std::uint8_t, 16>, 11>& dk,
+    std::uint8_t* block) {
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  s = _mm_xor_si128(
+      s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dk[0].data())));
+  for (int r = 1; r < 10; ++r) {
+    s = _mm_aesdec_si128(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+               dk[static_cast<std::size_t>(r)].data())));
+  }
+  s = _mm_aesdeclast_si128(
+      s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dk[10].data())));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(block), s);
+}
+#else
+bool cpu_has_aesni() { return false; }
+#endif
 
 using State = std::array<std::uint8_t, 16>;  // Column-major, as FIPS-197.
 
@@ -129,9 +264,139 @@ Aes128::Aes128(std::span<const std::uint8_t, kKeySize> key) {
     rk[3] = prev[3] ^ kSbox[prev[12]];
     for (std::size_t i = 4; i < 16; ++i) rk[i] = prev[i] ^ rk[i - 4];
   }
+
+  // Derive the fast-path schedules. Encrypt: the same keys as big-endian
+  // column words. Decrypt (equivalent inverse cipher): reversed key order
+  // with InvMixColumns applied to rounds 1..9.
+  for (std::size_t r = 0; r < 11; ++r) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      enc_words_[4 * r + j] = load_be32(&round_keys_[r][4 * j]);
+    }
+  }
+  dec_keys_bytes_[0] = round_keys_[10];
+  for (std::size_t r = 1; r < 10; ++r) {
+    dec_keys_bytes_[r] = inv_mix_key(round_keys_[10 - r]);
+  }
+  dec_keys_bytes_[10] = round_keys_[0];
+  for (std::size_t r = 0; r < 11; ++r) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      dec_words_[4 * r + j] = load_be32(&dec_keys_bytes_[r][4 * j]);
+    }
+  }
+  aesni_ = cpu_has_aesni();
 }
 
 void Aes128::encrypt_block(std::span<std::uint8_t, kBlockSize> block) const {
+  if (!g_fast_aes) {
+    encrypt_reference(block);
+    return;
+  }
+#ifdef LEMUR_AES_NI
+  if (aesni_) {
+    encrypt_block_aesni(round_keys_, block.data());
+    return;
+  }
+#endif
+  encrypt_tables(block);
+}
+
+void Aes128::decrypt_block(std::span<std::uint8_t, kBlockSize> block) const {
+  if (!g_fast_aes) {
+    decrypt_reference(block);
+    return;
+  }
+#ifdef LEMUR_AES_NI
+  if (aesni_) {
+    decrypt_block_aesni(dec_keys_bytes_, block.data());
+    return;
+  }
+#endif
+  decrypt_tables(block);
+}
+
+void Aes128::encrypt_tables(std::span<std::uint8_t, kBlockSize> block) const {
+  const std::uint32_t* rk = enc_words_.data();
+  std::uint32_t w0 = load_be32(&block[0]) ^ rk[0];
+  std::uint32_t w1 = load_be32(&block[4]) ^ rk[1];
+  std::uint32_t w2 = load_be32(&block[8]) ^ rk[2];
+  std::uint32_t w3 = load_be32(&block[12]) ^ rk[3];
+  const AesTables& t = kTables;
+  for (int r = 1; r < 10; ++r) {
+    rk += 4;
+    const std::uint32_t t0 = t.te0[w0 >> 24] ^ t.te1[(w1 >> 16) & 0xff] ^
+                             t.te2[(w2 >> 8) & 0xff] ^ t.te3[w3 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = t.te0[w1 >> 24] ^ t.te1[(w2 >> 16) & 0xff] ^
+                             t.te2[(w3 >> 8) & 0xff] ^ t.te3[w0 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = t.te0[w2 >> 24] ^ t.te1[(w3 >> 16) & 0xff] ^
+                             t.te2[(w0 >> 8) & 0xff] ^ t.te3[w1 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = t.te0[w3 >> 24] ^ t.te1[(w0 >> 16) & 0xff] ^
+                             t.te2[(w1 >> 8) & 0xff] ^ t.te3[w2 & 0xff] ^
+                             rk[3];
+    w0 = t0;
+    w1 = t1;
+    w2 = t2;
+    w3 = t3;
+  }
+  rk += 4;
+  const auto last = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                       std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kSbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kSbox[d & 0xff]);
+  };
+  store_be32(&block[0], last(w0, w1, w2, w3) ^ rk[0]);
+  store_be32(&block[4], last(w1, w2, w3, w0) ^ rk[1]);
+  store_be32(&block[8], last(w2, w3, w0, w1) ^ rk[2]);
+  store_be32(&block[12], last(w3, w0, w1, w2) ^ rk[3]);
+}
+
+void Aes128::decrypt_tables(std::span<std::uint8_t, kBlockSize> block) const {
+  const std::uint32_t* rk = dec_words_.data();
+  std::uint32_t w0 = load_be32(&block[0]) ^ rk[0];
+  std::uint32_t w1 = load_be32(&block[4]) ^ rk[1];
+  std::uint32_t w2 = load_be32(&block[8]) ^ rk[2];
+  std::uint32_t w3 = load_be32(&block[12]) ^ rk[3];
+  const AesTables& t = kTables;
+  for (int r = 1; r < 10; ++r) {
+    rk += 4;
+    const std::uint32_t t0 = t.td0[w0 >> 24] ^ t.td1[(w3 >> 16) & 0xff] ^
+                             t.td2[(w2 >> 8) & 0xff] ^ t.td3[w1 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = t.td0[w1 >> 24] ^ t.td1[(w0 >> 16) & 0xff] ^
+                             t.td2[(w3 >> 8) & 0xff] ^ t.td3[w2 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = t.td0[w2 >> 24] ^ t.td1[(w1 >> 16) & 0xff] ^
+                             t.td2[(w0 >> 8) & 0xff] ^ t.td3[w3 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = t.td0[w3 >> 24] ^ t.td1[(w2 >> 16) & 0xff] ^
+                             t.td2[(w1 >> 8) & 0xff] ^ t.td3[w0 & 0xff] ^
+                             rk[3];
+    w0 = t0;
+    w1 = t1;
+    w2 = t2;
+    w3 = t3;
+  }
+  rk += 4;
+  const auto& inv = kTables.inv_sbox;
+  const auto last = [&inv](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                           std::uint32_t d) {
+    return (static_cast<std::uint32_t>(inv[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(inv[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(inv[(c >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(inv[d & 0xff]);
+  };
+  store_be32(&block[0], last(w0, w3, w2, w1) ^ rk[0]);
+  store_be32(&block[4], last(w1, w0, w3, w2) ^ rk[1]);
+  store_be32(&block[8], last(w2, w1, w0, w3) ^ rk[2]);
+  store_be32(&block[12], last(w3, w2, w1, w0) ^ rk[3]);
+}
+
+void Aes128::encrypt_reference(
+    std::span<std::uint8_t, kBlockSize> block) const {
   State s;
   std::copy(block.begin(), block.end(), s.begin());
   add_round_key(s, round_keys_[0]);
@@ -147,7 +412,8 @@ void Aes128::encrypt_block(std::span<std::uint8_t, kBlockSize> block) const {
   std::copy(s.begin(), s.end(), block.begin());
 }
 
-void Aes128::decrypt_block(std::span<std::uint8_t, kBlockSize> block) const {
+void Aes128::decrypt_reference(
+    std::span<std::uint8_t, kBlockSize> block) const {
   State s;
   std::copy(block.begin(), block.end(), s.begin());
   add_round_key(s, round_keys_[10]);

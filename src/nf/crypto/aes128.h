@@ -1,7 +1,12 @@
 // AES-128 block cipher and CBC mode, as used by the paper's Encrypt and
-// Decrypt NFs ("128-bit AES-CBC", Table 3). Constant-table reference
-// implementation (this simulator measures cost via cycle profiles, not
-// wall-clock, so a bit-sliced implementation would add nothing).
+// Decrypt NFs ("128-bit AES-CBC", Table 3).
+//
+// Two implementations with bit-identical output share the key schedule:
+// the byte-wise FIPS-197 reference, and a fast path (AES-NI when the CPU
+// has it, 32-bit T-tables otherwise) selected by set_fast_aes(). The
+// fast path exists because AES dominates the simulator's wall clock on
+// crypto-heavy chains; the reference path is kept so benches can measure
+// the speedup against the original cost.
 #pragma once
 
 #include <array>
@@ -9,6 +14,12 @@
 #include <span>
 
 namespace lemur::nf::crypto {
+
+/// Toggles the T-table/AES-NI fast path process-wide (default on). Both
+/// paths produce identical ciphertext; the toggle exists for A/B
+/// benchmarking against the reference implementation.
+void set_fast_aes(bool enabled);
+[[nodiscard]] bool fast_aes_enabled();
 
 class Aes128 {
  public:
@@ -22,8 +33,21 @@ class Aes128 {
   void decrypt_block(std::span<std::uint8_t, kBlockSize> block) const;
 
  private:
+  void encrypt_reference(std::span<std::uint8_t, kBlockSize> block) const;
+  void decrypt_reference(std::span<std::uint8_t, kBlockSize> block) const;
+  void encrypt_tables(std::span<std::uint8_t, kBlockSize> block) const;
+  void decrypt_tables(std::span<std::uint8_t, kBlockSize> block) const;
+
   // 11 round keys of 16 bytes.
   std::array<std::array<std::uint8_t, kBlockSize>, 11> round_keys_{};
+  // Derived schedules for the fast paths, filled by the constructor:
+  // big-endian column words of round_keys_, the equivalent-inverse-cipher
+  // key words (InvMixColumns applied to the middle rounds), and the same
+  // inverse keys as bytes for the AES-NI aesdec sequence.
+  std::array<std::uint32_t, 44> enc_words_{};
+  std::array<std::uint32_t, 44> dec_words_{};
+  std::array<std::array<std::uint8_t, kBlockSize>, 11> dec_keys_bytes_{};
+  bool aesni_ = false;
 };
 
 /// CBC over the whole-block prefix of `data`; any trailing partial block

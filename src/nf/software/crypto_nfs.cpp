@@ -19,8 +19,10 @@ void derive_key_material(const std::string& passphrase,
 }
 
 std::span<std::uint8_t> l4_payload(net::Packet& pkt) {
-  auto layers = net::ParsedLayers::parse(pkt);
-  if (!layers || (!layers->tcp && !layers->udp)) return {};
+  // Payload-only mutations leave every header offset intact, so the
+  // parse cache stays valid across the returned span's writes.
+  const auto* layers = pkt.layers();
+  if (layers == nullptr || (!layers->tcp && !layers->udp)) return {};
   if (layers->payload_offset >= pkt.data.size()) return {};
   return {pkt.data.data() + layers->payload_offset,
           pkt.data.size() - layers->payload_offset};

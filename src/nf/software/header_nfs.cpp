@@ -65,15 +65,15 @@ Ipv4FwdNf::Ipv4FwdNf(NfConfig config)
 }
 
 int Ipv4FwdNf::process(net::Packet& pkt) {
-  auto layers = net::ParsedLayers::parse(pkt);
-  if (!layers || !layers->ipv4) return 0;
+  const auto* layers = pkt.layers();
+  if (layers == nullptr || !layers->ipv4) return 0;
   const auto port = table_.lookup(layers->ipv4->dst);
   const int egress = port.value_or(0);
   // Rewrite the destination MAC to the next hop (derived from the port)
   // — the "MAC address-based forwarding" of the paper's example chain.
   net::MacAddr next_hop{{0x02, 0xfe, 0, 0, 0,
                          static_cast<std::uint8_t>(egress)}};
-  for (std::size_t i = 0; i < 6; ++i) pkt.data[i] = next_hop.bytes[i];
+  net::patch_eth_dst(pkt, next_hop);
   pkt.ingress_port = static_cast<std::uint32_t>(egress);
   return 0;
 }
@@ -127,8 +127,8 @@ AclNf::AclNf(NfConfig config)
       rules_(parse_acl_rules(this->config())) {}
 
 int AclNf::process(net::Packet& pkt) {
-  auto layers = net::ParsedLayers::parse(pkt);
-  if (!layers) return kDrop;
+  const auto* layers = pkt.layers();
+  if (layers == nullptr) return kDrop;
   for (const auto& rule : rules_) {
     if (rule.matches(*layers)) {
       return rule.drop ? kDrop : 0;
@@ -175,8 +175,8 @@ MatchNf::MatchNf(NfConfig config)
 }
 
 int MatchNf::process(net::Packet& pkt) {
-  auto layers = net::ParsedLayers::parse(pkt);
-  if (!layers) return 0;
+  const auto* layers = pkt.layers();
+  if (layers == nullptr) return 0;
   for (const auto& rule : match_rules_) {
     const std::uint64_t actual = match_field_value(rule.field, *layers);
     if ((actual & rule.mask) == (rule.value & rule.mask)) return rule.gate;

@@ -135,9 +135,10 @@ int DedupNf::process(net::Packet& pkt) {
     pkt.data.resize(header_bytes + compacted.size());
     std::memcpy(pkt.data.data() + header_bytes, compacted.data(),
                 compacted.size());
+    pkt.invalidate_layers();  // The buffer shrank under the cached parse.
     // Fix the IP/UDP length fields so the packet stays parseable.
-    auto layers = net::ParsedLayers::parse(pkt);
-    if (layers && layers->ipv4) {
+    const auto* layers = pkt.layers();
+    if (layers != nullptr && layers->ipv4) {
       net::Ipv4Header ip = *layers->ipv4;
       const std::size_t l3_bytes = pkt.data.size() - layers->ipv4_offset;
       ip.total_length = static_cast<std::uint16_t>(l3_bytes);

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/net/flat_table.h"
 #include "src/nf/software/software_nf.h"
 
 namespace lemur::nf {
@@ -48,7 +49,7 @@ class DedupNf : public SoftwareNf {
   std::size_t max_chunk_;
   std::size_t cache_entries_;
   /// Fingerprint -> hit count; FIFO eviction via insertion order queue.
-  std::unordered_map<std::uint64_t, std::uint32_t> cache_;
+  net::FlatFlowTable<std::uint64_t, std::uint32_t> cache_;
   std::deque<std::uint64_t> eviction_order_;
   std::uint64_t bytes_in_ = 0;
   std::uint64_t bytes_out_ = 0;

@@ -33,6 +33,12 @@ class SoftwareNf {
   /// default next hop; branching NFs use higher gates) or kDrop.
   virtual int process(net::Packet& pkt) = 0;
 
+  /// Batch-level state prefetch: when wants_prefetch() is true, the host
+  /// module calls this for every packet in a batch before processing any,
+  /// so flow-table cache misses overlap instead of serializing.
+  virtual void prefetch_state(const net::Packet& pkt) { (void)pkt; }
+  [[nodiscard]] virtual bool wants_prefetch() const { return false; }
+
   [[nodiscard]] NfType type() const { return type_; }
   [[nodiscard]] const NfConfig& config() const { return config_; }
 

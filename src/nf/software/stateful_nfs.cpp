@@ -35,6 +35,10 @@ int LimiterNf::process(net::Packet& pkt) {
 MonitorNf::MonitorNf(NfConfig config)
     : SoftwareNf(NfType::kMonitor, std::move(config)) {}
 
+void MonitorNf::prefetch_state(const net::Packet& pkt) {
+  if (const auto tuple = net::FiveTuple::from(pkt)) stats_.prefetch(*tuple);
+}
+
 int MonitorNf::process(net::Packet& pkt) {
   auto tuple = net::FiveTuple::from(pkt);
   if (!tuple) return 0;
@@ -78,9 +82,21 @@ std::size_t NatNf::evict_expired(std::uint64_t now_ns) {
   return evicted;
 }
 
+void NatNf::prefetch_state(const net::Packet& pkt) {
+  const auto* layers = pkt.layers();
+  if (layers == nullptr || !layers->ipv4) return;
+  const auto tuple = net::FiveTuple::from(*layers);
+  if (!tuple) return;
+  if (layers->ipv4->dst == external_ip_) {
+    reverse_.prefetch(tuple->dst_port);
+  } else {
+    forward_.prefetch(*tuple);
+  }
+}
+
 int NatNf::process(net::Packet& pkt) {
-  auto layers = net::ParsedLayers::parse(pkt);
-  if (!layers || !layers->ipv4) return 0;
+  const auto* layers = pkt.layers();
+  if (layers == nullptr || !layers->ipv4) return 0;
   auto tuple = net::FiveTuple::from(*layers);
   if (!tuple) return 0;
 
@@ -142,9 +158,17 @@ net::Ipv4Addr LbNf::backend_of(std::size_t i) const {
   return net::Ipv4Addr{backend_base_.value + static_cast<std::uint32_t>(i)};
 }
 
+void LbNf::prefetch_state(const net::Packet& pkt) {
+  const auto* layers = pkt.layers();
+  if (layers == nullptr || !layers->ipv4 || layers->ipv4->dst != vip_) return;
+  if (const auto tuple = net::FiveTuple::from(*layers)) {
+    affinity_.prefetch(*tuple);
+  }
+}
+
 int LbNf::process(net::Packet& pkt) {
-  auto layers = net::ParsedLayers::parse(pkt);
-  if (!layers || !layers->ipv4 || layers->ipv4->dst != vip_) return 0;
+  const auto* layers = pkt.layers();
+  if (layers == nullptr || !layers->ipv4 || layers->ipv4->dst != vip_) return 0;
   auto tuple = net::FiveTuple::from(*layers);
   if (!tuple) return 0;
   int backend;

@@ -2,8 +2,9 @@
 // NAT (carrier-grade), LB (layer-4 load balancing).
 #pragma once
 
-#include <unordered_map>
+#include <vector>
 
+#include "src/net/flat_table.h"
 #include "src/net/flow.h"
 #include "src/nf/software/software_nf.h"
 
@@ -34,6 +35,8 @@ class MonitorNf : public SoftwareNf {
  public:
   explicit MonitorNf(NfConfig config);
   int process(net::Packet& pkt) override;
+  void prefetch_state(const net::Packet& pkt) override;
+  [[nodiscard]] bool wants_prefetch() const override { return true; }
 
   struct FlowStats {
     std::uint64_t packets = 0;
@@ -42,13 +45,13 @@ class MonitorNf : public SoftwareNf {
     std::uint64_t last_ns = 0;
   };
 
-  [[nodiscard]] const std::unordered_map<net::FiveTuple, FlowStats>& stats()
+  [[nodiscard]] const net::FlatFlowTable<net::FiveTuple, FlowStats>& stats()
       const {
     return stats_;
   }
 
  private:
-  std::unordered_map<net::FiveTuple, FlowStats> stats_;
+  net::FlatFlowTable<net::FiveTuple, FlowStats> stats_;
 };
 
 /// Carrier-grade NAT: translates internal (src ip, src port) to an
@@ -61,6 +64,8 @@ class NatNf : public SoftwareNf {
  public:
   explicit NatNf(NfConfig config);
   int process(net::Packet& pkt) override;
+  void prefetch_state(const net::Packet& pkt) override;
+  [[nodiscard]] bool wants_prefetch() const override { return true; }
 
   [[nodiscard]] std::size_t active_mappings() const {
     return forward_.size();
@@ -85,9 +90,9 @@ class NatNf : public SoftwareNf {
   std::size_t capacity_;
   std::uint64_t idle_timeout_ns_;
   /// internal 5-tuple -> allocated external mapping.
-  std::unordered_map<net::FiveTuple, Mapping> forward_;
+  net::FlatFlowTable<net::FiveTuple, Mapping> forward_;
   /// external port -> internal 5-tuple (for the reverse direction).
-  std::unordered_map<std::uint16_t, net::FiveTuple> reverse_;
+  net::FlatFlowTable<std::uint16_t, net::FiveTuple> reverse_;
   /// Ports freed by expiry, reusable before advancing next_port_.
   std::vector<std::uint16_t> free_ports_;
   std::uint64_t exhaustion_drops_ = 0;
@@ -102,6 +107,8 @@ class LbNf : public SoftwareNf {
  public:
   explicit LbNf(NfConfig config);
   int process(net::Packet& pkt) override;
+  void prefetch_state(const net::Packet& pkt) override;
+  [[nodiscard]] bool wants_prefetch() const override { return true; }
 
   [[nodiscard]] std::size_t tracked_flows() const { return affinity_.size(); }
   [[nodiscard]] net::Ipv4Addr backend_of(std::size_t i) const;
@@ -110,7 +117,7 @@ class LbNf : public SoftwareNf {
   net::Ipv4Addr vip_;
   net::Ipv4Addr backend_base_;
   int backends_;
-  std::unordered_map<net::FiveTuple, int> affinity_;
+  net::FlatFlowTable<net::FiveTuple, int> affinity_;
 };
 
 }  // namespace lemur::nf

@@ -275,8 +275,15 @@ class Machine {
         return true;
       }
       case Helper::kFlowHash: {
-        auto tuple = net::FiveTuple::from(pkt_);
-        reg(Reg::kR0) = tuple ? tuple->hash() : 0;
+        // eBPF stores rewrite the buffer directly, bypassing the packet's
+        // parse cache — hash the live bytes, not a possibly stale cache.
+        std::uint64_t hash = 0;
+        if (const auto parsed = net::ParsedLayers::parse(pkt_)) {
+          if (const auto tuple = net::FiveTuple::from(*parsed)) {
+            hash = tuple->hash();
+          }
+        }
+        reg(Reg::kR0) = hash;
         return true;
       }
       case Helper::kAdjustHead: {
@@ -322,7 +329,11 @@ class Machine {
 ExecResult execute(const Program& program, net::Packet& pkt,
                    const HelperConfig& config) {
   Machine machine(program, pkt, config);
-  return machine.run();
+  ExecResult result = machine.run();
+  // The program may have rewritten arbitrary bytes (stores, helpers,
+  // adjust_head) behind the parse cache's back.
+  pkt.invalidate_layers();
+  return result;
 }
 
 }  // namespace lemur::nic

@@ -114,9 +114,11 @@ OpenFlowSwitch::ProcessResult OpenFlowSwitch::process(net::Packet& pkt) {
        ++table_index) {
     auto& table = tables_[table_index];
     if (table.empty()) continue;
-    // Re-parse per table: earlier tables may have restructured the frame.
-    auto layers = net::ParsedLayers::parse(pkt);
-    if (!layers) break;
+    // Earlier tables may have restructured the frame (push/pop VLAN); the
+    // parse cache is invalidated by those helpers, so layers() re-parses
+    // only when something actually changed.
+    const auto* layers = pkt.layers();
+    if (layers == nullptr) break;
     const OfFlowRule* hit = nullptr;
     for (const auto& rule : table) {
       if (rule.match.matches(pkt, *layers)) {

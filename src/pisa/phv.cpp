@@ -7,8 +7,8 @@ namespace lemur::pisa {
 PhvContext::PhvContext(net::Packet& pkt) : pkt_(pkt) { reparse(); }
 
 void PhvContext::reparse() {
-  auto parsed = net::ParsedLayers::parse(pkt_);
-  parsed_ok_ = parsed.has_value();
+  const auto* parsed = pkt_.layers();
+  parsed_ok_ = parsed != nullptr;
   if (parsed_ok_) layers_ = *parsed;
   dirty_ = false;
 }
@@ -145,6 +145,16 @@ void PhvContext::flush() {
     net::patch_l4_ports(pkt_, layers_, layers_.udp->src_port,
                         layers_.udp->dst_port);
   }
+  // The raw eth/vlan/nsh writes above bypassed the packet's parse cache;
+  // re-seed it with the PHV view (IPv4 checksum re-read from the bytes
+  // patch_ipv4 just encoded, so the cache matches the wire exactly).
+  if (layers_.ipv4) {
+    const std::size_t off = layers_.ipv4_offset;
+    layers_.ipv4->checksum = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(pkt_.data[off + 10]) << 8) |
+        pkt_.data[off + 11]);
+  }
+  pkt_.store_layers(layers_);
   dirty_ = false;
 }
 

@@ -4,9 +4,56 @@
 #include <chrono>
 #include <functional>
 #include <map>
+#include <unordered_map>
 
 namespace lemur::placer {
 namespace {
+
+/// Memoizes SwitchOracle::check for the duration of one place() call.
+/// Every search path (the heuristic's demotion loop, the brute-force beam
+/// cross product, latency repair) probes overlapping PISA node sets, and
+/// the production oracle runs a full P4 compile per query — so repeats
+/// are answered from a hashed table instead. Valid only while the chain
+/// list is fixed, which holds within a single placement.
+class CachingOracle final : public SwitchOracle {
+ public:
+  explicit CachingOracle(SwitchOracle& inner) : inner_(inner) {}
+
+  Check check(const std::vector<chain::ChainSpec>& chains,
+              const std::vector<std::vector<int>>& pisa_nodes) override {
+    ++stats_.oracle_calls;
+    auto it = cache_.find(pisa_nodes);
+    if (it != cache_.end()) {
+      ++stats_.oracle_hits;
+      return it->second;
+    }
+    ++stats_.oracle_misses;
+    Check result = inner_.check(chains, pisa_nodes);
+    cache_.emplace(pisa_nodes, result);
+    return result;
+  }
+
+  [[nodiscard]] const PlacementStats& stats() const { return stats_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<std::vector<int>>& key) const {
+      std::uint64_t h = 1469598103934665603ull;
+      const auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      };
+      for (const auto& nodes : key) {
+        mix(nodes.size());
+        for (const int n : nodes) mix(static_cast<std::uint64_t>(n));
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  SwitchOracle& inner_;
+  std::unordered_map<std::vector<std::vector<int>>, Check, KeyHash> cache_;
+  PlacementStats stats_;
+};
 
 std::vector<std::vector<int>> pisa_nodes_of(
     const std::vector<Pattern>& patterns) {
@@ -364,8 +411,9 @@ PlacementResult run_optimal(const std::vector<chain::ChainSpec>& chains,
     }
   }
 
-  // Joint search over the beam cross product, oracle-checked.
-  std::map<std::vector<std::vector<int>>, SwitchOracle::Check> oracle_cache;
+  // Joint search over the beam cross product, oracle-checked. Repeat
+  // combinations are deduplicated by the CachingOracle wrapper place()
+  // installs, shared with the heuristic path that seeds this search.
   PlacementResult best;
   best.infeasible_reason = "no pattern combination fits the switch";
   for (const auto& spec : chains) {
@@ -381,13 +429,9 @@ PlacementResult run_optimal(const std::vector<chain::ChainSpec>& chains,
     for (std::size_t c = 0; c < chains.size(); ++c) {
       patterns[c] = beams[c][index[c]].pattern;
     }
-    auto key = pisa_nodes_of(patterns);
-    auto it = oracle_cache.find(key);
-    if (it == oracle_cache.end()) {
-      it = oracle_cache.emplace(key, oracle.check(chains, key)).first;
-    }
-    if (it->second.fits) {
-      auto result = score_best_alloc(patterns, it->second.stages_required,
+    const auto check = oracle.check(chains, pisa_nodes_of(patterns));
+    if (check.fits) {
+      auto result = score_best_alloc(patterns, check.stages_required,
                                      chains, topo, belief);
       if (better_result(result, best)) best = result;
     }
@@ -556,39 +600,45 @@ PlacementResult place(Strategy strategy,
 
   PlacerOptions belief = options;
 
+  // All strategy paths query the switch through one shared memo table,
+  // so e.g. kOptimal's heuristic seeding and its beam search never pay
+  // for the same oracle query twice.
+  CachingOracle cached_oracle(oracle);
+
   PlacementResult decided;
   switch (strategy) {
     case Strategy::kLemur:
-      decided = run_lemur(chains, topo, belief, oracle,
+      decided = run_lemur(chains, topo, belief, cached_oracle,
                           AllocMode::kMaximizeMarginal);
       break;
     case Strategy::kNoProfiling:
       belief.no_profiling = true;
-      decided = run_lemur(chains, topo, belief, oracle,
+      decided = run_lemur(chains, topo, belief, cached_oracle,
                           AllocMode::kMaximizeMarginal);
       break;
     case Strategy::kNoCoreAllocation:
-      decided = run_lemur(chains, topo, belief, oracle, AllocMode::kNone);
+      decided = run_lemur(chains, topo, belief, cached_oracle,
+                          AllocMode::kNone);
       break;
     case Strategy::kOptimal: {
       // The brute force enumerates a superset of the heuristic's
       // placements; the bounded beam may miss some, so seed the search
       // with the heuristic's solution to preserve Optimal >= Lemur.
-      decided = run_lemur(chains, topo, belief, oracle,
+      decided = run_lemur(chains, topo, belief, cached_oracle,
                           AllocMode::kMaximizeMarginal);
-      auto searched = run_optimal(chains, topo, belief, oracle);
+      auto searched = run_optimal(chains, topo, belief, cached_oracle);
       if (better_result(searched, decided)) decided = searched;
       break;
     }
     case Strategy::kMinimumBounce:
-      decided = run_min_bounce(chains, topo, belief, oracle);
+      decided = run_min_bounce(chains, topo, belief, cached_oracle);
       break;
     case Strategy::kHwPreferred: {
       std::vector<Pattern> patterns(chains.size());
       for (std::size_t c = 0; c < chains.size(); ++c) {
         patterns[c] = hw_preferred_pattern(chains[c], topo, belief);
       }
-      const auto check = oracle.check(chains, pisa_nodes_of(patterns));
+      const auto check = cached_oracle.check(chains, pisa_nodes_of(patterns));
       if (!check.fits) {
         decided.infeasible_reason = "hw-preferred placement: " + check.error;
         for (const auto& spec : chains) {
@@ -616,7 +666,7 @@ PlacementResult place(Strategy strategy,
       for (std::size_t c = 0; c < chains.size(); ++c) {
         patterns[c] = hw_preferred_pattern(chains[c], topo, belief);
       }
-      const auto check = oracle.check(chains, pisa_nodes_of(patterns));
+      const auto check = cached_oracle.check(chains, pisa_nodes_of(patterns));
       if (!check.fits) {
         decided.infeasible_reason = "greedy placement: " + check.error;
         for (const auto& spec : chains) {
@@ -633,6 +683,7 @@ PlacementResult place(Strategy strategy,
 
   PlacementResult out = finalize(decided, chains, topo, truth);
   out.strategy = strategy;
+  out.stats = cached_oracle.stats();
   out.placement_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

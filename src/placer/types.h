@@ -69,6 +69,16 @@ struct ChainPlacement {
   double latency_us = 0;      ///< Worst-path latency estimate.
 };
 
+/// Oracle-call accounting for one place() invocation. The search paths
+/// (heuristic demotion loop, brute-force beam product, latency repair)
+/// repeatedly probe the same PISA node sets; a memo table in front of
+/// the switch oracle answers repeats without re-running the compiler.
+struct PlacementStats {
+  std::uint64_t oracle_calls = 0;   ///< check() queries issued by search.
+  std::uint64_t oracle_hits = 0;    ///< Served from the memo table.
+  std::uint64_t oracle_misses = 0;  ///< Forwarded to the real oracle.
+};
+
 struct PlacementResult {
   bool feasible = false;
   std::string infeasible_reason;
@@ -88,6 +98,7 @@ struct PlacementResult {
   int pisa_stages_used = 0;
   int cores_used = 0;
   double placement_seconds = 0;  ///< Wall-clock spent placing.
+  PlacementStats stats;          ///< Oracle-call accounting for the search.
 };
 
 struct PlacerOptions {

@@ -31,10 +31,13 @@ telemetry::DropCause classify_tor_drop(const std::string& drop_table) {
 /// once their ready time passes.
 class Testbed::WireSource : public bess::PacketSource {
  public:
+  explicit WireSource(net::PacketPool* pool) : pool_(pool) {}
+
   /// False when the FIFO is full (the caller charges the drop).
   bool push(net::Packet pkt, std::uint64_t ready_ns) {
     if (fifo_.size() >= kCapacity) {
       ++drops_;
+      pool_->release(std::move(pkt));
       return false;
     }
     fifo_.emplace_back(ready_ns, std::move(pkt));
@@ -64,6 +67,7 @@ class Testbed::WireSource : public bess::PacketSource {
 
  private:
   static constexpr std::size_t kCapacity = 16384;
+  net::PacketPool* pool_;
   std::deque<std::pair<std::uint64_t, net::Packet>> fifo_;
   std::uint64_t drops_ = 0;
 };
@@ -168,8 +172,8 @@ void Testbed::append_hop(net::Packet& pkt, net::HopPlatform platform,
   hop.exit_ns = std::max(hop.enter_ns, exit_ns);
   // NSH coordinates the packet carries *now* — i.e. the segment it is
   // heading into after this hop.
-  const auto layers = net::ParsedLayers::parse(pkt);
-  if (layers && layers->nsh) {
+  const auto* layers = pkt.layers();
+  if (layers != nullptr && layers->nsh) {
     hop.spi = layers->nsh->spi;
     hop.si = layers->nsh->si;
   }
@@ -242,7 +246,8 @@ void Testbed::build_servers(std::uint64_t seed) {
     auto& rt = servers_[s];
     rt.dataplane = std::make_unique<bess::ServerDataplane>(
         topo_.servers[s], seed + s);
-    rt.source = std::make_unique<WireSource>();
+    rt.dataplane->set_packet_pool(&pool_);
+    rt.source = std::make_unique<WireSource>(&pool_);
     rt.sink = std::make_unique<ReturnSink>();
     auto& dp = *rt.dataplane;
 
@@ -464,6 +469,7 @@ void Testbed::deliver(net::Packet&& pkt, std::uint64_t ready_ns) {
   if (tracing_) {
     traces_.observe(pkt, ready_ns, static_cast<int>(chain));
   }
+  pool_.release(std::move(pkt));  // Delivered: the buffer is dead.
 }
 
 void Testbed::to_server(net::Packet&& pkt, int server,
@@ -471,8 +477,8 @@ void Testbed::to_server(net::Packet&& pkt, int server,
   // In-line SmartNIC first.
   auto nic_it = nics_.find(server);
   if (nic_it != nics_.end()) {
-    auto layers = net::ParsedLayers::parse(pkt);
-    if (layers && layers->nsh) {
+    const auto* layers = pkt.layers();
+    if (layers != nullptr && layers->nsh) {
       for (const auto* artifact : nic_it->second.artifacts) {
         if (artifact->spi_in != layers->nsh->spi ||
             artifact->si_in != layers->nsh->si) {
@@ -494,6 +500,7 @@ void Testbed::to_server(net::Packet&& pkt, int server,
         if (start - ready_ns > 1'000'000) {  // >1ms backlog: overload.
           count_drop(pkt, net::HopPlatform::kSmartNic,
                      telemetry::DropCause::kQueueOverflow);
+          pool_.release(std::move(pkt));
           return;
         }
         rt.engine_free_ns = start + cost_ns;
@@ -502,6 +509,7 @@ void Testbed::to_server(net::Packet&& pkt, int server,
         if (pkt.drop) {
           count_drop(pkt, net::HopPlatform::kSmartNic,
                      telemetry::DropCause::kNfVerdict);
+          pool_.release(std::move(pkt));
           return;
         }
         net::set_nsh(pkt, artifact->spi_out, artifact->si_out);
@@ -554,12 +562,14 @@ void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
   if (!of_switch_) {
     count_drop(pkt, net::HopPlatform::kOpenFlow,
                telemetry::DropCause::kRoutingMiss);
+    pool_.release(std::move(pkt));
     return;
   }
-  auto layers = net::ParsedLayers::parse(pkt);
-  if (!layers || !layers->nsh) {
+  const auto* layers = pkt.layers();
+  if (layers == nullptr || !layers->nsh) {
     count_drop(pkt, net::HopPlatform::kOpenFlow,
                telemetry::DropCause::kRoutingMiss);
+    pool_.release(std::move(pkt));
     return;
   }
   const metacompiler::OfArtifact* artifact = nullptr;
@@ -571,6 +581,7 @@ void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
   if (artifact == nullptr) {
     count_drop(pkt, net::HopPlatform::kOpenFlow,
                telemetry::DropCause::kRoutingMiss);
+    pool_.release(std::move(pkt));
     return;
   }
   // NSH -> VLAN at the OF boundary (the OF ASIC has no NSH support).
@@ -580,6 +591,7 @@ void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
   if (result.dropped) {
     count_drop(pkt, net::HopPlatform::kOpenFlow,
                telemetry::DropCause::kNfVerdict);
+    pool_.release(std::move(pkt));
     return;
   }
   net::pop_vlan(pkt);
@@ -623,6 +635,7 @@ void Testbed::route_from_switch(net::Packet&& pkt,
   }
   count_drop(pkt, net::HopPlatform::kTor,
              telemetry::DropCause::kRoutingMiss);  // Unknown port.
+  pool_.release(std::move(pkt));
 }
 
 void Testbed::sample_queue_depths() {
@@ -779,6 +792,7 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
       static_cast<std::uint64_t>(duration_ms * 1e6);
   constexpr std::uint64_t kQuantumNs = 100'000;  // 100 us.
   std::uint64_t now = 0;
+  std::vector<net::Packet> fresh;  // Injection scratch, reused per quantum.
   // Extra drain quanta flush in-flight packets after injection stops.
   const std::uint64_t drain_until = duration_ns + 20 * kQuantumNs;
 
@@ -787,7 +801,9 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
     // 1. Inject fresh traffic (within the measurement window only).
     if (now < duration_ns) {
       for (std::size_t c = 0; c < sources.size(); ++c) {
-        for (auto& pkt : sources[c].emit_until(quantum_end)) {
+        fresh.clear();
+        sources[c].emit_until(quantum_end, fresh, &pool_);
+        for (auto& pkt : fresh) {
           const std::uint64_t t = pkt.arrival_ns;
           ++out.offered_packets;
           ++offered_packets_[c];
@@ -809,6 +825,7 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
       if (result.dropped) {
         count_drop(pkt, net::HopPlatform::kTor,
                    classify_tor_drop(result.drop_table));
+        pool_.release(std::move(pkt));
         continue;
       }
       append_hop(pkt, net::HopPlatform::kTor, 0, ready);

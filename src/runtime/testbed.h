@@ -110,6 +110,13 @@ class Testbed {
   void set_tracing(bool enabled) { tracing_ = enabled; }
   [[nodiscard]] bool tracing() const { return tracing_; }
 
+  /// Packet-buffer pooling (on by default): delivered/dropped packets
+  /// return their frame buffers to an arena that injection re-uses, so
+  /// steady state allocates nothing per packet. Off reverts to plain
+  /// construct/destroy per packet (for A/B parity runs).
+  void set_pooling(bool enabled) { pool_.set_enabled(enabled); }
+  [[nodiscard]] const net::PacketPool& packet_pool() const { return pool_; }
+
   /// Keep every raw latency sample per chain (tests compare histogram
   /// quantiles against an exact sort). Off by default: unbounded memory.
   void set_record_raw_latencies(bool enabled) {
@@ -212,6 +219,9 @@ class Testbed {
   FlowMode flow_mode_;
   std::uint64_t seed_;
   std::string error_;
+
+  /// Declared before the runtimes that hold pointers into it.
+  net::PacketPool pool_;
 
   std::map<std::uint64_t, Endpoint> endpoints_;
   std::unique_ptr<pisa::PisaSwitch> tor_;

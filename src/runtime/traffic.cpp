@@ -77,6 +77,13 @@ const ChainTrafficModel::PathTemplate& ChainTrafficModel::sample_path() {
 }
 
 net::Packet ChainTrafficModel::make_packet(std::uint64_t now_ns) {
+  net::Packet pkt;
+  make_packet_into(now_ns, pkt);
+  return pkt;
+}
+
+void ChainTrafficModel::make_packet_into(std::uint64_t now_ns,
+                                         net::Packet& pkt) {
   const PathTemplate& path = sample_path();
   ++packet_counter_;
 
@@ -95,34 +102,31 @@ net::Packet ChainTrafficModel::make_packet(std::uint64_t now_ns) {
   flow.dst_port = path.dst_port.value_or(kDefaultDstPort);
   if (path.src_port) flow.src_port = *path.src_port;
 
-  net::PacketBuilder builder;
-  builder.five_tuple(flow)
+  builder_.five_tuple(flow)
       .aggregate_id(aggregate_id_)
       .arrival_ns(now_ns)
       .frame_size(frame_bytes_);
   // Incompressible pseudo-random payload: worst case for Dedup, exactly
   // like the paper's profiling traffic.
-  std::vector<std::uint8_t> payload(
-      frame_bytes_ > 200 ? frame_bytes_ - 64 : 64);
+  payload_scratch_.resize(frame_bytes_ > 200 ? frame_bytes_ - 64 : 64);
   std::uint64_t state = packet_counter_ * 0x9e3779b97f4a7c15ull + 1;
-  for (auto& b : payload) {
+  for (auto& b : payload_scratch_) {
     state ^= state << 13;
     state ^= state >> 7;
     state ^= state << 17;
     b = static_cast<std::uint8_t>(state);
   }
-  builder.payload(payload);
-  net::Packet pkt = builder.build();
+  builder_.payload(payload_scratch_);
+  builder_.build_into(pkt);
   if (path.vlan) net::push_vlan(pkt, *path.vlan);
   if (path.dscp) {
-    auto layers = net::ParsedLayers::parse(pkt);
-    if (layers && layers->ipv4) {
+    const auto* layers = pkt.layers();
+    if (layers != nullptr && layers->ipv4) {
       net::Ipv4Header ip = *layers->ipv4;
       ip.dscp = *path.dscp;
       net::patch_ipv4(pkt, *layers, ip);
     }
   }
-  return pkt;
 }
 
 RateShapedSource::RateShapedSource(ChainTrafficModel model, double gbps)
@@ -131,18 +135,30 @@ RateShapedSource::RateShapedSource(ChainTrafficModel model, double gbps)
 std::vector<net::Packet> RateShapedSource::emit_until(std::uint64_t now_ns,
                                                       std::size_t max) {
   std::vector<net::Packet> out;
-  if (now_ns <= last_ns_) return out;
+  emit_until(now_ns, out, nullptr, max);
+  return out;
+}
+
+std::size_t RateShapedSource::emit_until(std::uint64_t now_ns,
+                                         std::vector<net::Packet>& out,
+                                         net::PacketPool* pool,
+                                         std::size_t max) {
+  if (now_ns <= last_ns_) return 0;
   credit_bytes_ +=
       gbps_ * 1e9 / 8.0 * static_cast<double>(now_ns - last_ns_) * 1e-9;
   last_ns_ = now_ns;
   const double frame = static_cast<double>(model_.frame_bytes());
-  while (credit_bytes_ >= frame && out.size() < max) {
+  std::size_t appended = 0;
+  while (credit_bytes_ >= frame && appended < max) {
     credit_bytes_ -= frame;
-    out.push_back(model_.make_packet(now_ns));
+    net::Packet pkt = pool != nullptr ? pool->acquire() : net::Packet{};
+    model_.make_packet_into(now_ns, pkt);
+    out.push_back(std::move(pkt));
+    ++appended;
   }
   // Cap the backlog so a long idle gap cannot burst unboundedly later.
   credit_bytes_ = std::min(credit_bytes_, 64.0 * frame);
-  return out;
+  return appended;
 }
 
 }  // namespace lemur::runtime

@@ -14,6 +14,7 @@
 
 #include "src/chain/canonical.h"
 #include "src/net/packet_builder.h"
+#include "src/net/packet_pool.h"
 
 namespace lemur::runtime {
 
@@ -27,6 +28,12 @@ class ChainTrafficModel {
 
   /// Builds the next packet, stamped with `now_ns`.
   net::Packet make_packet(std::uint64_t now_ns);
+
+  /// Builds the next packet into `pkt` (e.g. a buffer recycled from a
+  /// PacketPool), reusing its frame/hop capacity. Consumes exactly the
+  /// same RNG draws as make_packet, so pooled and unpooled runs see
+  /// identical traffic.
+  void make_packet_into(std::uint64_t now_ns, net::Packet& pkt);
 
   [[nodiscard]] std::size_t frame_bytes() const { return frame_bytes_; }
 
@@ -48,6 +55,10 @@ class ChainTrafficModel {
   std::vector<net::FiveTuple> long_lived_flows_;
   std::mt19937_64 rng_;
   std::uint64_t packet_counter_ = 0;
+  /// Reused across packets so per-packet construction allocates nothing
+  /// once the scratch buffers reach steady-state capacity.
+  net::PacketBuilder builder_;
+  std::vector<std::uint8_t> payload_scratch_;
 };
 
 /// A rate-shaped PacketSource: supplies chain traffic at `gbps` of wire
@@ -59,6 +70,12 @@ class RateShapedSource {
   /// Packets that should have been emitted by `now_ns`, at most `max`.
   std::vector<net::Packet> emit_until(std::uint64_t now_ns,
                                       std::size_t max = 4096);
+
+  /// Same, but appends to `out` and (when `pool` is non-null) draws the
+  /// packet buffers from the pool instead of fresh allocations. Returns
+  /// the number of packets appended.
+  std::size_t emit_until(std::uint64_t now_ns, std::vector<net::Packet>& out,
+                         net::PacketPool* pool, std::size_t max = 4096);
 
   [[nodiscard]] double offered_gbps() const { return gbps_; }
 

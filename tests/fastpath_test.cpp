@@ -1,0 +1,230 @@
+// Dataplane fast-path invariants: the pooling/parse-cache/fast-AES
+// toggles must not change anything the rack measures, FlatFlowTable must
+// behave exactly like std::unordered_map under churn, and the Placer's
+// memoized oracle must account for every call.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+#include "src/chain/parser.h"
+#include "src/metacompiler/pisa_oracle.h"
+#include "src/net/flat_table.h"
+#include "src/nf/crypto/aes128.h"
+#include "src/placer/placer.h"
+#include "src/runtime/testbed.h"
+
+namespace lemur {
+namespace {
+
+chain::ChainSpec make_spec(const std::string& source, double t_min,
+                           std::uint32_t aggregate) {
+  auto parsed = chain::parse_chain(source);
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  chain::ChainSpec spec;
+  spec.name = "chain-" + std::to_string(aggregate);
+  spec.graph = std::move(parsed.graph);
+  spec.slo = chain::Slo::elastic_pipe(t_min, 100);
+  spec.aggregate_id = aggregate;
+  return spec;
+}
+
+// --- Fast-path measurement parity -------------------------------------------
+
+runtime::Measurement run_rack(bool fast) {
+  // Stateful + crypto mix so the pool, the parse cache, the flat tables
+  // (NAT/Monitor/LB/Dedup) and the AES fast path all carry real traffic.
+  std::vector<chain::ChainSpec> chains = {
+      make_spec("ACL -> Encrypt -> Decrypt -> IPv4Fwd", 0.5, 1),
+      make_spec("NAT -> Monitor -> IPv4Fwd", 0.5, 2),
+      make_spec("LB -> Dedup -> IPv4Fwd", 0.5, 3),
+  };
+  const topo::Topology topo = topo::Topology::lemur_testbed();
+  placer::PlacerOptions options;
+  metacompiler::CompilerOracle oracle(topo);
+  auto placement =
+      placer::place(placer::Strategy::kLemur, chains, topo, options, oracle);
+  EXPECT_TRUE(placement.feasible) << placement.infeasible_reason;
+  auto artifacts = metacompiler::compile(chains, placement, topo);
+  EXPECT_TRUE(artifacts.ok) << artifacts.error;
+
+  net::set_parse_cache_enabled(fast);
+  nf::crypto::set_fast_aes(fast);
+  runtime::Testbed testbed(chains, placement, artifacts, topo);
+  EXPECT_TRUE(testbed.ok()) << testbed.error();
+  testbed.set_pooling(fast);
+  auto m = testbed.run(10.0);
+  EXPECT_EQ(testbed.traces().continuity_errors(), 0u);
+  if (fast) {
+    // The pool and the parse cache must actually be exercised, or this
+    // parity test proves nothing.
+    EXPECT_GT(testbed.packet_pool().stats().reused, 0u);
+    EXPECT_GT(net::parse_cache_stats().hits, 0u);
+  }
+  net::set_parse_cache_enabled(true);
+  nf::crypto::set_fast_aes(true);
+  return m;
+}
+
+TEST(FastPath, TogglesDoNotChangeMeasuredResults) {
+  const auto fast = run_rack(true);
+  const auto slow = run_rack(false);
+  EXPECT_EQ(fast.offered_packets, slow.offered_packets);
+  EXPECT_EQ(fast.chain_offered, slow.chain_offered);
+  EXPECT_EQ(fast.chain_delivered, slow.chain_delivered);
+  EXPECT_EQ(fast.chain_dropped, slow.chain_dropped);
+  EXPECT_EQ(fast.chain_residual, slow.chain_residual);
+  // Latency is virtual time, so it must match bit-for-bit too.
+  EXPECT_EQ(fast.chain_p50_us, slow.chain_p50_us);
+  EXPECT_EQ(fast.chain_p95_us, slow.chain_p95_us);
+  EXPECT_EQ(fast.chain_p99_us, slow.chain_p99_us);
+  // Both runs conserve packets per chain.
+  for (const auto* m : {&fast, &slow}) {
+    for (std::size_t c = 0; c < m->chain_offered.size(); ++c) {
+      EXPECT_EQ(m->chain_offered[c], m->chain_delivered[c] +
+                                         m->chain_dropped[c] +
+                                         m->chain_residual[c]);
+    }
+  }
+}
+
+// --- FlatFlowTable vs unordered_map oracle ----------------------------------
+
+TEST(FlatFlowTable, MatchesUnorderedMapUnderRandomChurn) {
+  net::FlatFlowTable<std::uint64_t, std::uint32_t> table;
+  std::unordered_map<std::uint64_t, std::uint32_t> oracle;
+  std::mt19937_64 rng(42);
+  // Small key space forces constant insert/overwrite/erase collisions.
+  std::uniform_int_distribution<std::uint64_t> key_dist(0, 499);
+  for (int step = 0; step < 200'000; ++step) {
+    const std::uint64_t key = key_dist(rng);
+    switch (rng() % 4) {
+      case 0: {  // emplace
+        const auto value = static_cast<std::uint32_t>(rng());
+        const auto [it, inserted] = table.emplace(key, value);
+        const auto [oit, oinserted] = oracle.emplace(key, value);
+        ASSERT_EQ(inserted, oinserted);
+        ASSERT_EQ(it->second, oit->second);
+        break;
+      }
+      case 1: {  // operator[] overwrite
+        const auto value = static_cast<std::uint32_t>(rng());
+        table[key] = value;
+        oracle[key] = value;
+        break;
+      }
+      case 2: {  // find
+        auto it = table.find(key);
+        auto oit = oracle.find(key);
+        ASSERT_EQ(it == table.end(), oit == oracle.end());
+        if (oit != oracle.end()) {
+          ASSERT_EQ(it->second, oit->second);
+        }
+        break;
+      }
+      default: {  // erase by key
+        ASSERT_EQ(table.erase(key), oracle.erase(key));
+        break;
+      }
+    }
+    ASSERT_EQ(table.size(), oracle.size());
+  }
+  // Full contents match at the end.
+  std::size_t visited = 0;
+  for (const auto& [key, value] : table) {
+    auto oit = oracle.find(key);
+    ASSERT_NE(oit, oracle.end());
+    ASSERT_EQ(value, oit->second);
+    ++visited;
+  }
+  EXPECT_EQ(visited, oracle.size());
+}
+
+TEST(FlatFlowTable, IteratorEraseVisitsEveryRemainingEntry) {
+  net::FlatFlowTable<std::uint64_t, std::uint32_t> table;
+  std::unordered_map<std::uint64_t, std::uint32_t> oracle;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    table.emplace(k, static_cast<std::uint32_t>(k * 3));
+    oracle.emplace(k, static_cast<std::uint32_t>(k * 3));
+  }
+  // Erase every third entry mid-iteration, the NF eviction-scan pattern.
+  std::size_t seen = 0;
+  for (auto it = table.begin(); it != table.end();) {
+    ++seen;
+    if (it->first % 3 == 0) {
+      oracle.erase(it->first);
+      it = table.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Backward-shift deletion must not skip or double-visit entries.
+  EXPECT_EQ(seen, 1000u);
+  EXPECT_EQ(table.size(), oracle.size());
+  for (const auto& [key, value] : oracle) {
+    auto it = table.find(key);
+    ASSERT_NE(it, table.end());
+    EXPECT_EQ(it->second, value);
+  }
+}
+
+// --- AES fast path ----------------------------------------------------------
+
+TEST(FastAes, BitIdenticalToReference) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<std::uint8_t, 16> key{};
+    std::array<std::uint8_t, 16> iv{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+    for (auto& b : iv) b = static_cast<std::uint8_t>(rng());
+    // Odd length exercises the partial-block keystream tail.
+    std::vector<std::uint8_t> plain(237);
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng());
+
+    const nf::crypto::Aes128 cipher(key);
+    auto fast = plain;
+    nf::crypto::set_fast_aes(true);
+    nf::crypto::aes128_cbc_encrypt(cipher, iv, fast);
+    auto ref = plain;
+    nf::crypto::set_fast_aes(false);
+    nf::crypto::aes128_cbc_encrypt(cipher, iv, ref);
+    EXPECT_EQ(fast, ref);
+
+    // Cross-decrypt: reference decrypts the fast ciphertext and back.
+    nf::crypto::set_fast_aes(false);
+    nf::crypto::aes128_cbc_decrypt(cipher, iv, fast);
+    EXPECT_EQ(fast, plain);
+    nf::crypto::set_fast_aes(true);
+    nf::crypto::aes128_cbc_decrypt(cipher, iv, ref);
+    EXPECT_EQ(ref, plain);
+  }
+  nf::crypto::set_fast_aes(true);
+}
+
+// --- Placer oracle memoization ----------------------------------------------
+
+TEST(PlacerStats, OracleCallsAreAccounted) {
+  std::vector<chain::ChainSpec> chains = {
+      make_spec("ACL -> Encrypt -> IPv4Fwd", 0.5, 1),
+      make_spec("NAT -> IPv4Fwd", 0.5, 2),
+  };
+  const topo::Topology topo = topo::Topology::lemur_testbed();
+  placer::PlacerOptions options;
+  metacompiler::CompilerOracle oracle(topo);
+  auto placement =
+      placer::place(placer::Strategy::kLemur, chains, topo, options, oracle);
+  ASSERT_TRUE(placement.feasible) << placement.infeasible_reason;
+  EXPECT_GT(placement.stats.oracle_calls, 0u);
+  EXPECT_EQ(placement.stats.oracle_hits + placement.stats.oracle_misses,
+            placement.stats.oracle_calls);
+  // The brute-force strategy re-probes patterns heavily; the memo table
+  // must serve repeats.
+  auto optimal = placer::place(placer::Strategy::kOptimal, chains, topo,
+                               options, oracle);
+  ASSERT_TRUE(optimal.feasible) << optimal.infeasible_reason;
+  EXPECT_GT(optimal.stats.oracle_hits, 0u);
+}
+
+}  // namespace
+}  // namespace lemur
