@@ -123,10 +123,17 @@ struct Packet {
   void reset_for_reuse();
 
  private:
+  friend class PacketPool;
+
   mutable std::optional<ParsedLayers> cache_;
   mutable std::uint32_t cache_gen_ = 0;  ///< Generation cache_ was taken at.
   std::uint32_t buffer_gen_ = 1;         ///< Bumped on structural change.
   mutable bool parse_ok_ = false;
+  /// True while the packet sits on a PacketPool free list. Survives the
+  /// move release() performs (moving a Packet moves the buffers, not this
+  /// flag's value on the source), which is exactly what lets the pool
+  /// detect a second release of the same object.
+  bool pool_released_ = false;
 };
 
 /// Re-encodes the IPv4 header (with a fresh checksum) at its parsed offset.

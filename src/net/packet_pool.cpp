@@ -1,20 +1,33 @@
 #include "src/net/packet_pool.h"
 
+#include <cassert>
+
 namespace lemur::net {
 
 Packet PacketPool::acquire() {
   if (!enabled_ || free_.empty()) {
+    if (enabled_) ++stats_.exhausted;
     ++stats_.allocated;
     return Packet{};
   }
   Packet pkt = std::move(free_.back());
   free_.pop_back();
   pkt.reset_for_reuse();
+  pkt.pool_released_ = false;
   ++stats_.reused;
   return pkt;
 }
 
 void PacketPool::release(Packet&& pkt) {
+  if (pkt.pool_released_) {
+    // The caller's object was already handed to the pool once; what it
+    // holds now is a moved-from husk. Recycling it would put an aliased
+    // (and empty) packet back in circulation.
+    ++stats_.double_release;
+    assert(!"PacketPool double release");
+    return;
+  }
+  pkt.pool_released_ = true;
   if (!enabled_ || free_.size() >= max_free_) {
     ++stats_.discarded;
     return;
@@ -26,6 +39,16 @@ void PacketPool::release(Packet&& pkt) {
 void PacketPool::release_all(PacketBatch&& batch) {
   for (auto& pkt : batch.packets()) release(std::move(pkt));
   batch.clear();
+}
+
+void PacketPool::preallocate(std::size_t n, std::size_t frame_bytes) {
+  if (!enabled_) return;
+  while (free_.size() < n && free_.size() < max_free_) {
+    Packet pkt;
+    pkt.data.reserve(frame_bytes);
+    pkt.pool_released_ = true;
+    free_.push_back(std::move(pkt));
+  }
 }
 
 void PacketPool::set_enabled(bool enabled) {

@@ -3,6 +3,12 @@
 // vector); the pool keeps dead packets on a free list and hands them back
 // with their buffer capacities intact, so steady-state traffic allocates
 // nothing. Single-threaded, like the simulator's packet path.
+//
+// Hardening: releasing the same Packet object twice is detected via a
+// released-flag the pool maintains on the packet (debug builds assert,
+// release builds discard the duplicate and count it), and exhaustion is
+// never fatal — an empty free list gracefully falls back to heap
+// allocation, counted separately so benchmarks can see a cold pool.
 #pragma once
 
 #include <cstdint>
@@ -23,14 +29,21 @@ class PacketPool {
       : max_free_(max_free) {}
 
   /// Pops a recycled packet (reset to a just-constructed state, capacity
-  /// retained) or default-constructs one when the free list is empty.
+  /// retained) or default-constructs one when the free list is empty —
+  /// exhaustion degrades to heap allocation, never failure.
   [[nodiscard]] Packet acquire();
 
-  /// Returns a dead packet to the free list.
+  /// Returns a dead packet to the free list. Releasing the same object a
+  /// second time (a moved-from husk) asserts in debug builds and is
+  /// counted + discarded in release builds.
   void release(Packet&& pkt);
 
   /// Releases every packet in the batch and clears it.
   void release_all(PacketBatch&& batch);
+
+  /// Pre-warms the free list with `n` packets whose frame buffers have
+  /// `frame_bytes` of capacity, so the first `n` acquires are pool hits.
+  void preallocate(std::size_t n, std::size_t frame_bytes = 1500);
 
   /// Off turns acquire/release into plain construct/destroy — the
   /// unpooled baseline for A/B benchmarking. The free list is dropped.
@@ -42,6 +55,8 @@ class PacketPool {
     std::uint64_t reused = 0;     ///< acquire() served from the free list.
     std::uint64_t recycled = 0;   ///< release() kept the packet.
     std::uint64_t discarded = 0;  ///< release() destroyed it (full/off).
+    std::uint64_t exhausted = 0;  ///< Heap fall-backs while enabled.
+    std::uint64_t double_release = 0;  ///< Duplicate releases rejected.
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t free_size() const { return free_.size(); }

@@ -90,6 +90,36 @@ std::vector<std::size_t> DedupNf::chunk_ends(
   return ends;
 }
 
+void DedupNf::export_state(std::vector<std::uint8_t>& out) const {
+  StateWriter w(out);
+  // Serialize in FIFO (insertion) order so the importer reconstructs the
+  // same eviction sequence the donor had.
+  w.u64(eviction_order_.size());
+  for (const std::uint64_t fp : eviction_order_) {
+    const auto it = cache_.find(fp);
+    w.u64(fp);
+    w.u32(it != cache_.end() ? it->second : 0);
+  }
+}
+
+void DedupNf::import_state(const std::uint8_t* data, std::size_t len) {
+  StateReader r(data, len);
+  while (!r.exhausted()) {
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count && !r.exhausted(); ++i) {
+      const std::uint64_t fp = r.u64();
+      const std::uint32_t hits = r.u32();
+      if (cache_.contains(fp)) continue;
+      if (cache_.size() >= cache_entries_ && !eviction_order_.empty()) {
+        cache_.erase(eviction_order_.front());
+        eviction_order_.pop_front();
+      }
+      cache_.emplace(fp, hits);
+      eviction_order_.push_back(fp);
+    }
+  }
+}
+
 int DedupNf::process(net::Packet& pkt) {
   auto payload = l4_payload(pkt);
   bytes_in_ += pkt.size();

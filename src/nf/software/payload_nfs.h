@@ -30,6 +30,11 @@ class DedupNf : public SoftwareNf {
  public:
   explicit DedupNf(NfConfig config);
   int process(net::Packet& pkt) override;
+  /// Fingerprint cache in FIFO order, so a migrated instance keeps both
+  /// the dedup ratio and the eviction sequence.
+  void export_state(std::vector<std::uint8_t>& out) const override;
+  void import_state(const std::uint8_t* data, std::size_t len) override;
+  [[nodiscard]] bool has_state() const override { return true; }
 
   [[nodiscard]] std::uint64_t bytes_in() const { return bytes_in_; }
   [[nodiscard]] std::uint64_t bytes_out() const { return bytes_out_; }

@@ -32,8 +32,61 @@ int LimiterNf::process(net::Packet& pkt) {
   return 0;
 }
 
+namespace {
+
+void write_tuple(StateWriter& w, const net::FiveTuple& t) {
+  w.u32(t.src_ip.value);
+  w.u32(t.dst_ip.value);
+  w.u16(t.src_port);
+  w.u16(t.dst_port);
+  w.u8(t.proto);
+}
+
+net::FiveTuple read_tuple(StateReader& r) {
+  net::FiveTuple t;
+  t.src_ip.value = r.u32();
+  t.dst_ip.value = r.u32();
+  t.src_port = r.u16();
+  t.dst_port = r.u16();
+  t.proto = r.u8();
+  return t;
+}
+
+}  // namespace
+
 MonitorNf::MonitorNf(NfConfig config)
     : SoftwareNf(NfType::kMonitor, std::move(config)) {}
+
+void MonitorNf::export_state(std::vector<std::uint8_t>& out) const {
+  StateWriter w(out);
+  w.u64(stats_.size());
+  for (const auto& [tuple, s] : stats_) {
+    write_tuple(w, tuple);
+    w.u64(s.packets);
+    w.u64(s.bytes);
+    w.u64(s.first_ns);
+    w.u64(s.last_ns);
+  }
+}
+
+void MonitorNf::import_state(const std::uint8_t* data, std::size_t len) {
+  // A snapshot may concatenate several replicas' export blocks; import
+  // them all (state migration hands every new replica the full snapshot).
+  StateReader r(data, len);
+  while (!r.exhausted()) {
+    const std::uint64_t count = r.u64();
+    stats_.reserve(stats_.size() + count);
+    for (std::uint64_t i = 0; i < count && !r.exhausted(); ++i) {
+      const net::FiveTuple tuple = read_tuple(r);
+      FlowStats s;
+      s.packets = r.u64();
+      s.bytes = r.u64();
+      s.first_ns = r.u64();
+      s.last_ns = r.u64();
+      stats_[tuple] = s;
+    }
+  }
+}
 
 void MonitorNf::prefetch_state(const net::Packet& pkt) {
   if (const auto tuple = net::FiveTuple::from(pkt)) stats_.prefetch(*tuple);
@@ -59,6 +112,8 @@ NatNf::NatNf(NfConfig config)
           static_cast<std::uint16_t>(this->config().int_or("port_base",
                                                            10000))),
       port_base_(next_port_),
+      port_limit_(static_cast<std::uint16_t>(
+          this->config().int_or("port_limit", 65000))),
       capacity_(static_cast<std::size_t>(
           this->config().int_or("entries", 12000))),
       idle_timeout_ns_(static_cast<std::uint64_t>(
@@ -144,6 +199,37 @@ int NatNf::process(net::Packet& pkt) {
   return 0;
 }
 
+void NatNf::export_state(std::vector<std::uint8_t>& out) const {
+  StateWriter w(out);
+  w.u64(forward_.size());
+  for (const auto& [tuple, mapping] : forward_) {
+    write_tuple(w, tuple);
+    w.u16(mapping.external_port);
+    w.u64(mapping.last_seen_ns);
+  }
+}
+
+void NatNf::import_state(const std::uint8_t* data, std::size_t len) {
+  // Concatenated replica blocks: each replica of the new plan scans the
+  // full snapshot and keeps only the mappings in its own port partition.
+  StateReader r(data, len);
+  while (!r.exhausted()) {
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count && !r.exhausted(); ++i) {
+      const net::FiveTuple tuple = read_tuple(r);
+      const std::uint16_t port = r.u16();
+      const std::uint64_t last_seen = r.u64();
+      if (port < port_base_ || port >= port_limit_) continue;  // Not ours.
+      forward_.emplace(tuple, Mapping{port, last_seen});
+      reverse_.emplace(port, tuple);
+      // Never hand an imported port out again.
+      if (port >= next_port_) {
+        next_port_ = static_cast<std::uint16_t>(port + 1);
+      }
+    }
+  }
+}
+
 LbNf::LbNf(NfConfig config)
     : SoftwareNf(NfType::kLb, std::move(config)),
       vip_(net::Ipv4Addr::parse(this->config().string_or("vip", "10.100.0.1"))
@@ -184,6 +270,27 @@ int LbNf::process(net::Packet& pkt) {
   ip.dst = backend_of(static_cast<std::size_t>(backend));
   net::patch_ipv4(pkt, *layers, ip);
   return 0;
+}
+
+void LbNf::export_state(std::vector<std::uint8_t>& out) const {
+  StateWriter w(out);
+  w.u64(affinity_.size());
+  for (const auto& [tuple, backend] : affinity_) {
+    write_tuple(w, tuple);
+    w.u32(static_cast<std::uint32_t>(backend));
+  }
+}
+
+void LbNf::import_state(const std::uint8_t* data, std::size_t len) {
+  StateReader r(data, len);
+  while (!r.exhausted()) {
+    const std::uint64_t count = r.u64();
+    affinity_.reserve(affinity_.size() + count);
+    for (std::uint64_t i = 0; i < count && !r.exhausted(); ++i) {
+      const net::FiveTuple tuple = read_tuple(r);
+      affinity_[tuple] = static_cast<int>(r.u32());
+    }
+  }
 }
 
 }  // namespace lemur::nf

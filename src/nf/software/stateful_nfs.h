@@ -37,6 +37,9 @@ class MonitorNf : public SoftwareNf {
   int process(net::Packet& pkt) override;
   void prefetch_state(const net::Packet& pkt) override;
   [[nodiscard]] bool wants_prefetch() const override { return true; }
+  void export_state(std::vector<std::uint8_t>& out) const override;
+  void import_state(const std::uint8_t* data, std::size_t len) override;
+  [[nodiscard]] bool has_state() const override { return true; }
 
   struct FlowStats {
     std::uint64_t packets = 0;
@@ -66,6 +69,15 @@ class NatNf : public SoftwareNf {
   int process(net::Packet& pkt) override;
   void prefetch_state(const net::Packet& pkt) override;
   [[nodiscard]] bool wants_prefetch() const override { return true; }
+  /// Snapshot of the forward table (the reverse table and allocation
+  /// cursor are derivable); entries are (5-tuple, external port,
+  /// last-seen) records.
+  void export_state(std::vector<std::uint8_t>& out) const override;
+  /// Imports only the mappings whose external port falls inside this
+  /// instance's configured range — replicas partition the port space, so
+  /// every replica can be handed the full snapshot.
+  void import_state(const std::uint8_t* data, std::size_t len) override;
+  [[nodiscard]] bool has_state() const override { return true; }
 
   [[nodiscard]] std::size_t active_mappings() const {
     return forward_.size();
@@ -87,6 +99,9 @@ class NatNf : public SoftwareNf {
   net::Ipv4Addr external_ip_;
   std::uint16_t next_port_;
   std::uint16_t port_base_;
+  /// One past the highest external port this instance may own. Replicas
+  /// partition [port_base, port_limit); import_state() filters on it.
+  std::uint16_t port_limit_;
   std::size_t capacity_;
   std::uint64_t idle_timeout_ns_;
   /// internal 5-tuple -> allocated external mapping.
@@ -109,6 +124,9 @@ class LbNf : public SoftwareNf {
   int process(net::Packet& pkt) override;
   void prefetch_state(const net::Packet& pkt) override;
   [[nodiscard]] bool wants_prefetch() const override { return true; }
+  void export_state(std::vector<std::uint8_t>& out) const override;
+  void import_state(const std::uint8_t* data, std::size_t len) override;
+  [[nodiscard]] bool has_state() const override { return true; }
 
   [[nodiscard]] std::size_t tracked_flows() const { return affinity_.size(); }
   [[nodiscard]] net::Ipv4Addr backend_of(std::size_t i) const;

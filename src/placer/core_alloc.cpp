@@ -12,7 +12,9 @@ class CorePool {
   CorePool(const topo::Topology& topo, const PlacerOptions& options)
       : topo_(topo), options_(options) {
     free_.reserve(topo.servers.size());
-    for (const auto& s : topo.servers) free_.push_back(s.total_cores());
+    for (const auto& s : topo.servers) {
+      free_.push_back(s.failed ? 0 : s.total_cores());
+    }
     active_.assign(topo.servers.size(), false);
   }
 
@@ -77,7 +79,8 @@ std::vector<double> chain_ceilings(const Deployment& deployment,
         analyze_paths(chains[c].graph, deployment.patterns[c], chain_groups,
                       topo, options);
     for (std::size_t s = 0; s < topo.servers.size(); ++s) {
-      const double link = topo.servers[s].nics.empty()
+      const double link = topo.servers[s].nics.empty() ||
+                                  topo.servers[s].failed
                               ? 0.0
                               : topo.servers[s].nics.front().capacity_gbps;
       if (analysis.link_in_coeff[s] > 1e-12) {

@@ -97,11 +97,14 @@ PlacementResult evaluate(const Deployment& deployment,
   const auto used = cores_used_per_server(deployment, topo, options);
   for (std::size_t s = 0; s < used.size(); ++s) {
     out.cores_used += used[s];
-    if (used[s] > topo.servers[s].total_cores()) {
+    const int budget = topo.servers[s].failed
+                           ? 0
+                           : topo.servers[s].total_cores();
+    if (used[s] > budget) {
       out.infeasible_reason = "server " + topo.servers[s].name +
+                              (topo.servers[s].failed ? " (failed)" : "") +
                               " needs " + std::to_string(used[s]) +
-                              " cores but has " +
-                              std::to_string(topo.servers[s].total_cores());
+                              " cores but has " + std::to_string(budget);
       return out;
     }
   }
@@ -177,7 +180,8 @@ PlacementResult evaluate(const Deployment& deployment,
                       const std::vector<int>& rate_var) {
     // Link capacity rows (per server, per direction).
     for (std::size_t s = 0; s < topo.servers.size(); ++s) {
-      const double link = topo.servers[s].nics.empty()
+      const double link = topo.servers[s].nics.empty() ||
+                                  topo.servers[s].failed
                               ? 0.0
                               : topo.servers[s].nics.front().capacity_gbps;
       solver::LinearProgram::Terms in_terms;

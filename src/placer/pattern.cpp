@@ -36,10 +36,14 @@ std::vector<Target> allowed_targets(const chain::NfNode& node,
   }
   if (ipv4fwd_restricted) return out;
   if (!branch_or_merge) {
-    if (spec.has_ebpf && !topo.smartnics.empty()) {
+    const bool live_smartnic =
+        std::any_of(topo.smartnics.begin(), topo.smartnics.end(),
+                    [](const topo::SmartNicSpec& nic) { return !nic.failed; });
+    if (spec.has_ebpf && live_smartnic) {
       out.push_back(Target::kSmartNic);
     }
-    if (spec.has_openflow && topo.openflow.has_value()) {
+    if (spec.has_openflow && topo.openflow.has_value() &&
+        !topo.openflow->failed) {
       out.push_back(Target::kOpenFlow);
     }
   }

@@ -6,54 +6,10 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/placer/caching_oracle.h"
+
 namespace lemur::placer {
 namespace {
-
-/// Memoizes SwitchOracle::check for the duration of one place() call.
-/// Every search path (the heuristic's demotion loop, the brute-force beam
-/// cross product, latency repair) probes overlapping PISA node sets, and
-/// the production oracle runs a full P4 compile per query — so repeats
-/// are answered from a hashed table instead. Valid only while the chain
-/// list is fixed, which holds within a single placement.
-class CachingOracle final : public SwitchOracle {
- public:
-  explicit CachingOracle(SwitchOracle& inner) : inner_(inner) {}
-
-  Check check(const std::vector<chain::ChainSpec>& chains,
-              const std::vector<std::vector<int>>& pisa_nodes) override {
-    ++stats_.oracle_calls;
-    auto it = cache_.find(pisa_nodes);
-    if (it != cache_.end()) {
-      ++stats_.oracle_hits;
-      return it->second;
-    }
-    ++stats_.oracle_misses;
-    Check result = inner_.check(chains, pisa_nodes);
-    cache_.emplace(pisa_nodes, result);
-    return result;
-  }
-
-  [[nodiscard]] const PlacementStats& stats() const { return stats_; }
-
- private:
-  struct KeyHash {
-    std::size_t operator()(const std::vector<std::vector<int>>& key) const {
-      std::uint64_t h = 1469598103934665603ull;
-      const auto mix = [&h](std::uint64_t v) {
-        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-      };
-      for (const auto& nodes : key) {
-        mix(nodes.size());
-        for (const int n : nodes) mix(static_cast<std::uint64_t>(n));
-      }
-      return static_cast<std::size_t>(h);
-    }
-  };
-
-  SwitchOracle& inner_;
-  std::unordered_map<std::vector<std::vector<int>>, Check, KeyHash> cache_;
-  PlacementStats stats_;
-};
 
 std::vector<std::vector<int>> pisa_nodes_of(
     const std::vector<Pattern>& patterns) {
@@ -493,10 +449,19 @@ Pattern hw_preferred_pattern(const chain::ChainSpec& spec,
                              const topo::Topology& topo,
                              const PlacerOptions& options) {
   Pattern out(spec.graph.nodes().size());
+  int live_nic = 0;
+  for (std::size_t n = 0; n < topo.smartnics.size(); ++n) {
+    if (!topo.smartnics[n].failed) {
+      live_nic = static_cast<int>(n);
+      break;
+    }
+  }
   for (const auto& node : spec.graph.nodes()) {
     const auto targets = allowed_targets(
         node, topo, options, spec.graph.is_branch_or_merge(node.id));
-    out[static_cast<std::size_t>(node.id)].target = targets.front();
+    auto& p = out[static_cast<std::size_t>(node.id)];
+    p.target = targets.front();
+    if (p.target == Target::kSmartNic) p.smartnic = live_nic;
   }
   return out;
 }
@@ -684,6 +649,146 @@ PlacementResult place(Strategy strategy,
   PlacementResult out = finalize(decided, chains, topo, truth);
   out.strategy = strategy;
   out.stats = cached_oracle.stats();
+  out.placement_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+PlacementResult replace_incremental(const std::vector<chain::ChainSpec>& chains,
+                                    const topo::Topology& degraded_topo,
+                                    const PlacementResult& previous,
+                                    const std::vector<int>& affected_chains,
+                                    const PlacerOptions& options,
+                                    SwitchOracle& oracle) {
+  const auto start = std::chrono::steady_clock::now();
+  PlacerOptions truth = options;
+  truth.no_profiling = false;
+  const PlacerOptions& belief = options;
+
+  std::vector<bool> affected(chains.size(), false);
+  for (const int c : affected_chains) {
+    if (c >= 0 && c < static_cast<int>(chains.size())) {
+      affected[static_cast<std::size_t>(c)] = true;
+    }
+  }
+
+  auto infeasible = [&](const std::string& reason) {
+    PlacementResult out;
+    out.infeasible_reason = reason;
+    out.strategy = previous.strategy;
+    for (const auto& spec : chains) {
+      out.aggregate_t_min_gbps += spec.slo.t_min_gbps;
+    }
+    return out;
+  };
+
+  // Unaffected chains keep the patterns the previous placement decided;
+  // only affected chains restart from the hardware-preferred pattern on
+  // the degraded topology. Because the kept node sets are byte-identical
+  // to the previous run's, every oracle probe they participate in hits a
+  // persistent CachingOracle.
+  std::vector<Pattern> baseline(chains.size());
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    const bool reusable =
+        !affected[c] && c < previous.chains.size() &&
+        previous.chains[c].nodes.size() == chains[c].graph.nodes().size();
+    baseline[c] = reusable ? previous.chains[c].nodes
+                           : hw_preferred_pattern(chains[c], degraded_topo,
+                                                  belief);
+  }
+
+  // fit_to_switch restricted to the affected chains: unaffected chains'
+  // switch programs are already deployed and must not churn.
+  int stages = -1;
+  while (true) {
+    const auto check = oracle.check(chains, pisa_nodes_of(baseline));
+    if (check.fits) {
+      stages = check.stages_required;
+      break;
+    }
+    int best_chain = -1;
+    int best_node = -1;
+    std::uint64_t best_cycles = ~0ull;
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      if (!affected[c]) continue;
+      for (const auto& node : chains[c].graph.nodes()) {
+        if (baseline[c][static_cast<std::size_t>(node.id)].target !=
+            Target::kPisa) {
+          continue;
+        }
+        const auto node_targets =
+            allowed_targets(node, degraded_topo, belief,
+                            chains[c].graph.is_branch_or_merge(node.id));
+        if (node_targets.size() < 2) continue;
+        const auto cycles =
+            profiled_cycles(node, degraded_topo.servers.front(), belief);
+        if (cycles < best_cycles) {
+          best_cycles = cycles;
+          best_chain = static_cast<int>(c);
+          best_node = node.id;
+        }
+      }
+    }
+    if (best_chain < 0) {
+      return infeasible(
+          "incremental re-place: affected chains cannot shrink the switch "
+          "program further");
+    }
+    const auto& node =
+        chains[static_cast<std::size_t>(best_chain)].graph.node(best_node);
+    const auto targets = allowed_targets(
+        node, degraded_topo, belief,
+        chains[static_cast<std::size_t>(best_chain)]
+            .graph.is_branch_or_merge(best_node));
+    Target demoted = Target::kServer;
+    for (const auto t : targets) {
+      if (t != Target::kPisa) {
+        demoted = t;
+        break;
+      }
+    }
+    baseline[static_cast<std::size_t>(best_chain)]
+            [static_cast<std::size_t>(best_node)]
+                .target = demoted;
+  }
+
+  // Coalescing variants, mutating affected chains only.
+  auto build_variant = [&](CoalesceRule extra) {
+    std::vector<Pattern> variant = baseline;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& cand : coalesce_candidates(variant, chains)) {
+        if (!affected[static_cast<std::size_t>(cand.chain)]) continue;
+        if (should_coalesce(cand, CoalesceRule::kStrict, variant, chains,
+                            degraded_topo, belief) ||
+            should_coalesce(cand, extra, variant, chains, degraded_topo,
+                            belief)) {
+          apply_coalesce(variant, cand);
+          changed = true;
+        }
+      }
+    }
+    return variant;
+  };
+  const std::vector<Pattern> aggressive =
+      build_variant(CoalesceRule::kAggressive);
+  const std::vector<Pattern> conservative =
+      build_variant(CoalesceRule::kConservative);
+
+  PlacementResult best = infeasible("no incremental variant scored");
+  for (const auto& variant : {baseline, aggressive, conservative}) {
+    for (const auto mode :
+         {AllocMode::kMaximizeMarginal, AllocMode::kSequentialSlo}) {
+      auto result = score_candidate(variant, stages, mode, chains,
+                                    degraded_topo, belief);
+      if (better_result(result, best)) best = result;
+    }
+  }
+
+  PlacementResult out = finalize(best, chains, degraded_topo, truth);
+  out.strategy = previous.strategy;
   out.placement_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -22,6 +22,21 @@ PlacementResult place(Strategy strategy,
                       const topo::Topology& topo,
                       const PlacerOptions& options, SwitchOracle& oracle);
 
+/// Incremental re-placement after a fault: chains in `affected_chains`
+/// are re-placed from scratch on `degraded_topo` (whose failed elements
+/// contribute zero cores / zero link capacity and are excluded from
+/// pattern targets), while every other chain keeps the pattern it had in
+/// `previous` — so when `oracle` is a persistent CachingOracle the
+/// unaffected subgroups' switch probes all hit cache. Core allocation and
+/// the rate LP re-run globally (rack capacity changed), coalescing and
+/// switch-fit demotion mutate affected chains only.
+PlacementResult replace_incremental(const std::vector<chain::ChainSpec>& chains,
+                                    const topo::Topology& degraded_topo,
+                                    const PlacementResult& previous,
+                                    const std::vector<int>& affected_chains,
+                                    const PlacerOptions& options,
+                                    SwitchOracle& oracle);
+
 // --- Building blocks shared by strategies (exposed for tests) -------------
 
 /// Hardware-preferred pattern: PISA > SmartNIC > OpenFlow > server.

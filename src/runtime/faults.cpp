@@ -1,0 +1,182 @@
+#include "src/runtime/faults.h"
+
+#include <cstdlib>
+
+namespace lemur::runtime {
+namespace {
+
+constexpr double kNsPerMs = 1e6;
+
+/// splitmix64 finalizer: the coin source for per-packet impairments.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t onset_ns(const FaultEvent& e) {
+  return static_cast<std::uint64_t>(e.at_ms * kNsPerMs);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kServerDeath: return "server-death";
+    case FaultKind::kSmartNicDeath: return "smartnic-death";
+    case FaultKind::kOpenFlowDown: return "openflow-down";
+    case FaultKind::kTorLinkDown: return "tor-link-down";
+    case FaultKind::kLinkCorrupt: return "link-corrupt";
+    case FaultKind::kLinkDuplicate: return "link-duplicate";
+    case FaultKind::kLinkReorder: return "link-reorder";
+  }
+  return "?";
+}
+
+FaultScheduler::FaultScheduler(std::vector<FaultEvent> events,
+                               std::uint64_t seed)
+    : events_(std::move(events)), seed_(seed) {}
+
+bool FaultScheduler::active(const FaultEvent& e, std::uint64_t now_ns) const {
+  const std::uint64_t at = onset_ns(e);
+  if (now_ns < at) return false;
+  if (e.duration_ms <= 0) return true;  // Permanent.
+  return now_ns < at + static_cast<std::uint64_t>(e.duration_ms * kNsPerMs);
+}
+
+bool FaultScheduler::server_dead(int server, std::uint64_t now_ns) const {
+  for (const auto& e : events_) {
+    // Death is permanent: once the onset passed, the element stays dead.
+    if (e.kind == FaultKind::kServerDeath && e.element == server &&
+        now_ns >= onset_ns(e)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultScheduler::nic_dead(int nic, std::uint64_t now_ns) const {
+  for (const auto& e : events_) {
+    if (e.kind == FaultKind::kSmartNicDeath && e.element == nic &&
+        now_ns >= onset_ns(e)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultScheduler::openflow_down(std::uint64_t now_ns) const {
+  for (const auto& e : events_) {
+    if (e.kind == FaultKind::kOpenFlowDown && active(e, now_ns)) return true;
+  }
+  return false;
+}
+
+bool FaultScheduler::tor_link_down(int server, std::uint64_t now_ns) const {
+  for (const auto& e : events_) {
+    if (e.kind == FaultKind::kTorLinkDown && e.element == server &&
+        active(e, now_ns)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultScheduler::Impairment FaultScheduler::wire_impairment(
+    int server, std::uint64_t now_ns) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& e = events_[i];
+    if (e.element != server || !active(e, now_ns)) continue;
+    Impairment verdict = Impairment::kNone;
+    switch (e.kind) {
+      case FaultKind::kLinkCorrupt: verdict = Impairment::kCorrupt; break;
+      case FaultKind::kLinkDuplicate: verdict = Impairment::kDuplicate; break;
+      case FaultKind::kLinkReorder: verdict = Impairment::kReorder; break;
+      default: continue;
+    }
+    const std::uint64_t coin =
+        mix(seed_ ^ (static_cast<std::uint64_t>(i) << 56) ^ coin_counter_++);
+    const double u =
+        static_cast<double>(coin >> 11) * (1.0 / 9007199254740992.0);
+    if (u < e.rate) return verdict;
+  }
+  return Impairment::kNone;
+}
+
+std::optional<std::vector<FaultEvent>> FaultScheduler::parse(
+    const std::string& spec, std::string* error) {
+  std::vector<FaultEvent> out;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t end = spec.find(';', pos);
+    std::string item = spec.substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos);
+    pos = end == std::string::npos ? spec.size() : end + 1;
+    if (item.empty()) continue;
+
+    FaultEvent e;
+    // Kind (and optional ":<element>").
+    std::size_t at = item.find('@');
+    if (at == std::string::npos) {
+      return fail("fault '" + item + "': missing '@<at_ms>'");
+    }
+    std::string head = item.substr(0, at);
+    std::string tail = item.substr(at + 1);
+    std::string kind = head;
+    const std::size_t colon = head.find(':');
+    if (colon != std::string::npos) {
+      kind = head.substr(0, colon);
+      e.element = std::atoi(head.c_str() + colon + 1);
+    }
+    if (kind == "server") {
+      e.kind = FaultKind::kServerDeath;
+    } else if (kind == "nic") {
+      e.kind = FaultKind::kSmartNicDeath;
+    } else if (kind == "of") {
+      e.kind = FaultKind::kOpenFlowDown;
+    } else if (kind == "link") {
+      e.kind = FaultKind::kTorLinkDown;
+    } else if (kind == "corrupt") {
+      e.kind = FaultKind::kLinkCorrupt;
+      e.rate = 0.25;
+      e.duration_ms = 1.0;
+    } else if (kind == "dup") {
+      e.kind = FaultKind::kLinkDuplicate;
+      e.rate = 0.25;
+      e.duration_ms = 1.0;
+    } else if (kind == "reorder") {
+      e.kind = FaultKind::kLinkReorder;
+      e.rate = 0.25;
+      e.duration_ms = 1.0;
+    } else {
+      return fail("fault '" + item + "': unknown kind '" + kind + "'");
+    }
+
+    // tail = <at_ms>[+<dur_ms>][@<rate>], stripped "ms" suffixes allowed.
+    const std::size_t rate_at = tail.find('@');
+    if (rate_at != std::string::npos) {
+      e.rate = std::atof(tail.c_str() + rate_at + 1);
+      tail = tail.substr(0, rate_at);
+    }
+    const std::size_t plus = tail.find('+');
+    if (plus != std::string::npos) {
+      e.duration_ms = std::atof(tail.c_str() + plus + 1);
+      tail = tail.substr(0, plus);
+    }
+    e.at_ms = std::atof(tail.c_str());
+    if (e.at_ms < 0 || e.duration_ms < 0 || e.rate < 0 || e.rate > 1) {
+      return fail("fault '" + item + "': out-of-range timing/rate");
+    }
+    out.push_back(e);
+  }
+  if (out.empty()) return fail("empty fault spec");
+  return out;
+}
+
+}  // namespace lemur::runtime

@@ -25,6 +25,30 @@ telemetry::DropCause classify_tor_drop(const std::string& drop_table) {
   return telemetry::DropCause::kNfVerdict;
 }
 
+/// Resolves a BESS module name of the form "c<chain>_s<seg>_r<rep>_<nf>"
+/// to its chain graph node; -1 for non-NF modules (queues, encaps,
+/// generated steering).
+int parse_module_node(const std::vector<chain::ChainSpec>& chains,
+                      const std::string& name, int* chain_out) {
+  int chain = -1, seg = -1, replica = -1, consumed = 0;
+  if (std::sscanf(name.c_str(), "c%d_s%d_r%d_%n", &chain, &seg, &replica,
+                  &consumed) != 3 ||
+      consumed == 0 || chain < 0 ||
+      chain >= static_cast<int>(chains.size())) {
+    return -1;
+  }
+  const std::string instance =
+      name.substr(static_cast<std::size_t>(consumed));
+  for (const auto& node :
+       chains[static_cast<std::size_t>(chain)].graph.nodes()) {
+    if (node.instance_name == instance) {
+      *chain_out = chain;
+      return node.id;
+    }
+  }
+  return -1;
+}
+
 }  // namespace
 
 /// Wire from the ToR to a server NIC: packets become visible to PortInc
@@ -65,6 +89,12 @@ class Testbed::WireSource : public bess::PacketSource {
     return out;
   }
 
+  /// Removes and returns every queued packet (fault/recovery flush).
+  [[nodiscard]] std::deque<std::pair<std::uint64_t, net::Packet>>
+  take_all() {
+    return std::exchange(fifo_, {});
+  }
+
  private:
   static constexpr std::size_t kCapacity = 16384;
   net::PacketPool* pool_;
@@ -101,14 +131,27 @@ Testbed::Testbed(const std::vector<chain::ChainSpec>& chains,
                  const metacompiler::CompiledArtifacts& artifacts,
                  const topo::Topology& topo, std::uint64_t seed,
                  FlowMode flow_mode)
-    : chains_(chains),
-      placement_(placement),
-      artifacts_(artifacts),
-      topo_(topo),
+    : chains_(&chains),
+      placement_(&placement),
+      artifacts_(&artifacts),
+      topo_(&topo),
       flow_mode_(flow_mode),
       seed_(seed) {
-  if (!artifacts.ok) {
-    error_ = "artifacts not compiled: " + artifacts.error;
+  delivered_bytes_.assign(chains.size(), 0);
+  latency_sum_ns_.assign(chains.size(), 0);
+  delivered_packets_.assign(chains.size(), 0);
+  offered_packets_.assign(chains.size(), 0);
+  offered_bytes_.assign(chains.size(), 0);
+  latency_ns_.assign(chains.size(), {});
+  raw_latency_ns_.assign(chains.size(), {});
+  shed_.assign(chains.size(), 0);
+  deploy();
+}
+
+void Testbed::deploy() {
+  error_.clear();
+  if (!artifacts_->ok) {
+    error_ = "artifacts not compiled: " + artifacts_->error;
     return;
   }
   // Re-run the deployment verifier on the artifacts as handed to us (not
@@ -116,7 +159,7 @@ Testbed::Testbed(const std::vector<chain::ChainSpec>& chains,
   // since). Error-severity findings mean misrouted traffic or
   // overcommitted resources, so deployment is refused outright.
   const auto report =
-      verify::verify_artifacts(chains, placement, artifacts, topo);
+      verify::verify_artifacts(*chains_, *placement_, *artifacts_, *topo_);
   if (report.has_errors()) {
     const auto* first = &report.diagnostics.front();
     for (const auto& d : report.diagnostics) {
@@ -131,18 +174,19 @@ Testbed::Testbed(const std::vector<chain::ChainSpec>& chains,
              ": " + first->message;
     return;
   }
-  delivered_bytes_.assign(chains.size(), 0);
-  latency_sum_ns_.assign(chains.size(), 0);
-  delivered_packets_.assign(chains.size(), 0);
-  offered_packets_.assign(chains.size(), 0);
-  offered_bytes_.assign(chains.size(), 0);
-  latency_ns_.assign(chains.size(), {});
-  raw_latency_ns_.assign(chains.size(), {});
-  segment_index_ = metacompiler::SegmentIndex(artifacts.routings);
+  endpoints_.clear();
+  tor_.reset();
+  servers_.clear();
+  nics_.clear();
+  of_switch_.reset();
+  segment_index_ = metacompiler::SegmentIndex(artifacts_->routings);
+  // resize, not assign: servers already marked dead stay dead across a
+  // swap (the degraded plan routes nothing at them anyway).
+  server_dead_.resize(topo_->servers.size(), 0);
   build_endpoints();
   build_tor();
   if (!error_.empty()) return;
-  build_servers(seed);
+  build_servers(seed_);
   build_nics();
   build_openflow();
 }
@@ -150,8 +194,8 @@ Testbed::Testbed(const std::vector<chain::ChainSpec>& chains,
 Testbed::~Testbed() = default;
 
 int Testbed::chain_of(std::uint32_t aggregate_id) const {
-  for (std::size_t c = 0; c < chains_.size(); ++c) {
-    if (chains_[c].aggregate_id == aggregate_id) return static_cast<int>(c);
+  for (std::size_t c = 0; c < chains_->size(); ++c) {
+    if ((*chains_)[c].aggregate_id == aggregate_id) return static_cast<int>(c);
   }
   return 0;
 }
@@ -202,20 +246,20 @@ void Testbed::open_server_hop(net::Packet& pkt, int server,
 }
 
 void Testbed::build_endpoints() {
-  for (const auto& routing : artifacts_.routings) {
+  for (const auto& routing : artifacts_->routings) {
     for (const auto& segment : routing.segments) {
       Endpoint ep;
       ep.target = segment.target;
       if (segment.target == placer::Target::kServer) {
-        for (const auto& g : placement_.subgroups) {
+        for (const auto& g : placement_->subgroups) {
           if (g.chain == segment.chain && g.nodes == segment.nodes) {
             ep.server = g.server;
           }
         }
       } else if (segment.target == placer::Target::kSmartNic) {
-        ep.server = topo_.smartnics.empty()
+        ep.server = topo_->smartnics.empty()
                         ? 0
-                        : topo_.smartnics.front().attached_server;
+                        : topo_->smartnics.front().attached_server;
       }
       for (const auto& entry : segment.entries) {
         endpoints_[endpoint_key(entry.spi, entry.si)] = ep;
@@ -225,14 +269,14 @@ void Testbed::build_endpoints() {
 }
 
 void Testbed::build_tor() {
-  tor_ = std::make_unique<pisa::PisaSwitch>(artifacts_.p4.program,
-                                            topo_.tor);
+  tor_ = std::make_unique<pisa::PisaSwitch>(artifacts_->p4.program,
+                                            topo_->tor);
   auto compiled = tor_->load();
   if (!compiled.ok) {
     error_ = "ToR program failed to compile: " + compiled.error;
     return;
   }
-  for (const auto& [table, entry] : artifacts_.p4.entries) {
+  for (const auto& [table, entry] : artifacts_->p4.entries) {
     if (!tor_->add_entry(table, entry)) {
       error_ = "failed to install entry into '" + table + "'";
       return;
@@ -241,17 +285,17 @@ void Testbed::build_tor() {
 }
 
 void Testbed::build_servers(std::uint64_t seed) {
-  servers_.resize(topo_.servers.size());
-  for (std::size_t s = 0; s < topo_.servers.size(); ++s) {
+  servers_.resize(topo_->servers.size());
+  for (std::size_t s = 0; s < topo_->servers.size(); ++s) {
     auto& rt = servers_[s];
     rt.dataplane = std::make_unique<bess::ServerDataplane>(
-        topo_.servers[s], seed + s);
+        topo_->servers[s], seed + s);
     rt.dataplane->set_packet_pool(&pool_);
     rt.source = std::make_unique<WireSource>(&pool_);
     rt.sink = std::make_unique<ReturnSink>();
     auto& dp = *rt.dataplane;
 
-    const auto& plan = artifacts_.server_plans[s];
+    const auto& plan = artifacts_->server_plans[s];
     if (plan.segments.empty()) continue;
 
     auto* inc = dp.add_module<bess::PortInc>("port_inc", rt.source.get());
@@ -268,7 +312,7 @@ void Testbed::build_servers(std::uint64_t seed) {
     for (std::size_t i = 0; i < plan.segments.size(); ++i) {
       const auto& seg = plan.segments[i];
       const auto& graph =
-          chains_[static_cast<std::size_t>(seg.chain)].graph;
+          (*chains_)[static_cast<std::size_t>(seg.chain)].graph;
       const std::string id =
           "c" + std::to_string(seg.chain) + "_s" + std::to_string(i);
 
@@ -308,6 +352,10 @@ void Testbed::build_servers(std::uint64_t seed) {
             const std::int64_t base = node_config.int_or("port_base", 10000);
             const std::int64_t span = (65000 - base) / seg.cores;
             node_config.ints["port_base"] = base + r * span;
+            // The partition's exclusive upper bound: import_state() keeps
+            // only mappings inside [port_base, port_limit), so migrated
+            // NAT state lands on exactly one replica.
+            node_config.ints["port_limit"] = base + (r + 1) * span;
             node_config.ints["entries"] =
                 std::min<std::int64_t>(node_config.int_or("entries", 12000),
                                        span);
@@ -394,7 +442,7 @@ void Testbed::build_servers(std::uint64_t seed) {
         // the chain's burst cap.
         bess::RateLimit limit;
         const double t_max =
-            chains_[static_cast<std::size_t>(seg.chain)].slo.t_max_gbps;
+            (*chains_)[static_cast<std::size_t>(seg.chain)].slo.t_max_gbps;
         if (t_max < chain::Slo::kUnbounded) {
           limit.bits_per_sec = t_max * 1e9 * seg.traffic_fraction /
                                std::max(1, seg.cores);
@@ -409,16 +457,16 @@ void Testbed::build_servers(std::uint64_t seed) {
 }
 
 void Testbed::build_nics() {
-  for (const auto& artifact : artifacts_.nic_programs) {
+  for (const auto& artifact : artifacts_->nic_programs) {
     const int server =
-        topo_.smartnics.empty()
+        topo_->smartnics.empty()
             ? 0
-            : topo_.smartnics[static_cast<std::size_t>(artifact.smartnic)]
+            : topo_->smartnics[static_cast<std::size_t>(artifact.smartnic)]
                   .attached_server;
     auto& rt = nics_[server];
     if (!rt.device) {
       rt.device = std::make_unique<nic::SmartNic>(
-          topo_.smartnics[static_cast<std::size_t>(artifact.smartnic)]);
+          topo_->smartnics[static_cast<std::size_t>(artifact.smartnic)]);
       nic::HelperConfig helpers;
       nf::derive_key_material("lemur-chacha-key", helpers.chacha_key);
       nf::derive_key_material("lemur-nonce", helpers.chacha_nonce);
@@ -433,10 +481,10 @@ void Testbed::build_nics() {
 }
 
 void Testbed::build_openflow() {
-  if (artifacts_.of_rules.empty()) return;
+  if (artifacts_->of_rules.empty()) return;
   of_switch_ = std::make_unique<openflow::OpenFlowSwitch>(
-      topo_.openflow.value_or(topo::OpenFlowSwitchSpec{}));
-  for (const auto& artifact : artifacts_.of_rules) {
+      topo_->openflow.value_or(topo::OpenFlowSwitchSpec{}));
+  for (const auto& artifact : artifacts_->of_rules) {
     for (auto rule : artifact.rules) {
       std::string install_error;
       if (!of_switch_->install(std::move(rule), &install_error)) {
@@ -445,6 +493,187 @@ void Testbed::build_openflow() {
       }
     }
   }
+}
+
+void Testbed::count_fault_drop(const net::Packet& pkt,
+                               net::HopPlatform platform,
+                               const std::string& element) {
+  count_drop(pkt, platform, telemetry::DropCause::kFault);
+  // The per-element counter is the recovery controller's localization
+  // signal: a ledger spike says *that* something died, this says *what*.
+  metrics_.counter("fault." + element + ".drops").add(1);
+}
+
+void Testbed::flush_server(int s, telemetry::DropCause cause,
+                           const char* element) {
+  auto& rt = servers_[static_cast<std::size_t>(s)];
+  std::uint64_t flushed = 0;
+  auto charge = [&](net::Packet&& pkt, net::HopPlatform platform) {
+    count_drop(pkt, platform, cause);
+    ++flushed;
+    pool_.release(std::move(pkt));
+  };
+  if (rt.source) {
+    for (auto& [ready, pkt] : rt.source->take_all()) {
+      charge(std::move(pkt), net::HopPlatform::kWire);
+    }
+  }
+  if (rt.dataplane) {
+    for (auto& module : rt.dataplane->modules()) {
+      if (auto* q = dynamic_cast<bess::Queue*>(module.get())) {
+        for (auto& pkt : q->take_all()) {
+          charge(std::move(pkt), net::HopPlatform::kServer);
+        }
+      }
+    }
+  }
+  if (rt.sink) {
+    for (auto& [t, pkt] : rt.sink->drain()) {
+      charge(std::move(pkt), net::HopPlatform::kServer);
+    }
+  }
+  if (flushed == 0) return;
+  if (cause == telemetry::DropCause::kRecovery) {
+    recovery_flush_drops_ += flushed;
+  }
+  if (element != nullptr) {
+    metrics_.counter(std::string("fault.") + element + ".drops")
+        .add(flushed);
+  }
+}
+
+void Testbed::apply_fault_onsets(std::uint64_t now_ns) {
+  if (faults_ == nullptr) return;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (server_dead_[s] != 0 ||
+        !faults_->server_dead(static_cast<int>(s), now_ns)) {
+      continue;
+    }
+    server_dead_[s] = 1;
+    // Everything resident on the dying server is lost right now.
+    const std::string element = "server" + std::to_string(s);
+    flush_server(static_cast<int>(s), telemetry::DropCause::kFault,
+                 element.c_str());
+  }
+}
+
+void Testbed::set_chain_shed(int chain, bool shed) {
+  if (chain < 0 || chain >= static_cast<int>(shed_.size())) return;
+  shed_[static_cast<std::size_t>(chain)] = shed ? 1 : 0;
+}
+
+void Testbed::export_nf_state() {
+  exported_state_.clear();
+  for (auto& rt : servers_) {
+    if (!rt.dataplane) continue;
+    for (auto& module : rt.dataplane->modules()) {
+      auto* nf_module = dynamic_cast<nf::NfModule*>(module.get());
+      if (nf_module == nullptr || !nf_module->nf().has_state()) continue;
+      int chain = -1;
+      const int node_id =
+          parse_module_node(*chains_, module->name(), &chain);
+      if (node_id < 0) continue;
+      // Replicas of the same logical NF append their blocks to one
+      // snapshot; importers scan the concatenation and keep what is
+      // theirs (the NAT filters by port partition).
+      nf_module->nf().export_state(exported_state_[{chain, node_id}]);
+    }
+  }
+}
+
+void Testbed::import_nf_state() {
+  for (auto& rt : servers_) {
+    if (!rt.dataplane) continue;
+    for (auto& module : rt.dataplane->modules()) {
+      auto* nf_module = dynamic_cast<nf::NfModule*>(module.get());
+      if (nf_module == nullptr || !nf_module->nf().has_state()) continue;
+      int chain = -1;
+      const int node_id =
+          parse_module_node(*chains_, module->name(), &chain);
+      if (node_id < 0) continue;
+      const auto it = exported_state_.find({chain, node_id});
+      if (it == exported_state_.end() || it->second.empty()) continue;
+      nf_module->nf().import_state(it->second.data(), it->second.size());
+    }
+  }
+}
+
+bool Testbed::swap_plan(const std::vector<chain::ChainSpec>& chains,
+                        const placer::PlacementResult& placement,
+                        const metacompiler::CompiledArtifacts& artifacts,
+                        const topo::Topology& topo, std::uint64_t now_ns,
+                        std::string* error) {
+  // Verify first: a plan that fails verification must never evict the
+  // one that is running.
+  if (!artifacts.ok) {
+    if (error != nullptr) {
+      *error = "artifacts not compiled: " + artifacts.error;
+    }
+    return false;
+  }
+  const auto report =
+      verify::verify_artifacts(chains, placement, artifacts, topo);
+  if (report.has_errors()) {
+    if (error != nullptr) {
+      const auto* first = &report.diagnostics.front();
+      for (const auto& d : report.diagnostics) {
+        if (d.severity == verify::Severity::kError) {
+          first = &d;
+          break;
+        }
+      }
+      *error = "swap refused: [" + first->rule + "] " + first->locus +
+               ": " + first->message;
+    }
+    return false;
+  }
+
+  // Capture stateful NF state from the live replicas before teardown.
+  export_nf_state();
+
+  // Flush in-flight packets. NSH-tagged packets are mid-chain in the old
+  // plan's segment space, which the new plan renumbers — they cannot be
+  // replayed, so they are charged to the ledger (cause=recovery-flush)
+  // and conservation still holds. Untagged packets are fresh arrivals
+  // that simply re-enter through the new ToR program.
+  std::deque<std::pair<std::uint64_t, net::Packet>> keep;
+  std::uint64_t flushed = 0;
+  for (auto& [ready, pkt] : to_switch_) {
+    const auto* layers = pkt.layers();
+    if (layers != nullptr && layers->nsh) {
+      count_drop(pkt, net::HopPlatform::kTor,
+                 telemetry::DropCause::kRecovery);
+      ++flushed;
+      pool_.release(std::move(pkt));
+    } else {
+      keep.emplace_back(ready, std::move(pkt));
+    }
+  }
+  to_switch_ = std::move(keep);
+  recovery_flush_drops_ += flushed;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    flush_server(static_cast<int>(s), telemetry::DropCause::kRecovery,
+                 nullptr);
+  }
+
+  // Atomic cutover: repoint the live plan and rebuild the rack. The
+  // verifier already accepted this plan, so deploy() can only fail on a
+  // compile regression — surfaced via error_/ok() like a ctor failure.
+  chains_ = &chains;
+  placement_ = &placement;
+  artifacts_ = &artifacts;
+  topo_ = &topo;
+  deploy();
+  if (!ok()) {
+    if (error != nullptr) *error = error_;
+    return false;
+  }
+  import_nf_state();
+  ++plan_generation_;
+  metrics_.counter("recovery.plan_swaps").add(1);
+  metrics_.gauge("recovery.last_swap_ns")
+      .set(static_cast<double>(now_ns));
+  return true;
 }
 
 bool Testbed::capture_egress_to(const std::string& path) {
@@ -474,6 +703,52 @@ void Testbed::deliver(net::Packet&& pkt, std::uint64_t ready_ns) {
 
 void Testbed::to_server(net::Packet&& pkt, int server,
                         std::uint64_t ready_ns) {
+  // Injected faults intercept the packet before it reaches the NIC/wire.
+  if (server_dead_[static_cast<std::size_t>(server)] ||
+      (faults_ != nullptr && faults_->server_dead(server, ready_ns))) {
+    count_fault_drop(pkt, net::HopPlatform::kServer,
+                     "server" + std::to_string(server));
+    pool_.release(std::move(pkt));
+    return;
+  }
+  if (faults_ != nullptr && faults_->tor_link_down(server, ready_ns)) {
+    count_fault_drop(pkt, net::HopPlatform::kWire,
+                     "link" + std::to_string(server));
+    pool_.release(std::move(pkt));
+    return;
+  }
+  if (faults_ != nullptr) {
+    switch (faults_->wire_impairment(server, ready_ns)) {
+      case FaultScheduler::Impairment::kCorrupt:
+        count_fault_drop(pkt, net::HopPlatform::kWire,
+                         "wire" + std::to_string(server));
+        pool_.release(std::move(pkt));
+        return;
+      case FaultScheduler::Impairment::kDuplicate: {
+        // The clone is extra offered load (conservation: both copies are
+        // charged somewhere). It bypasses the impairment coin so a
+        // rate-1.0 duplication event cannot amplify without bound.
+        net::Packet clone = pkt;
+        const auto c = static_cast<std::size_t>(chain_of(pkt.aggregate_id));
+        ++offered_packets_[c];
+        offered_bytes_[c] += clone.size();
+        inject_server(std::move(clone), server, ready_ns);
+        break;
+      }
+      case FaultScheduler::Impairment::kReorder:
+        // Reordering is modeled as extra wire residency: the packet slips
+        // behind later arrivals but is never lost.
+        ready_ns += 300'000;
+        break;
+      case FaultScheduler::Impairment::kNone:
+        break;
+    }
+  }
+  inject_server(std::move(pkt), server, ready_ns);
+}
+
+void Testbed::inject_server(net::Packet&& pkt, int server,
+                            std::uint64_t ready_ns) {
   // In-line SmartNIC first.
   auto nic_it = nics_.find(server);
   if (nic_it != nics_.end()) {
@@ -484,12 +759,19 @@ void Testbed::to_server(net::Packet&& pkt, int server,
             artifact->si_in != layers->nsh->si) {
           continue;
         }
+        if (faults_ != nullptr &&
+            faults_->nic_dead(artifact->smartnic, ready_ns)) {
+          count_fault_drop(pkt, net::HopPlatform::kSmartNic,
+                           "smartnic" + std::to_string(artifact->smartnic));
+          pool_.release(std::move(pkt));
+          return;
+        }
         auto& rt = nic_it->second;
         // Engine occupancy: serialized packet processing.
         const auto& spec = rt.device->spec();
         const auto& server_spec =
-            topo_.servers[static_cast<std::size_t>(server)];
-        const auto& node = chains_[static_cast<std::size_t>(artifact->chain)]
+            topo_->servers[static_cast<std::size_t>(server)];
+        const auto& node = (*chains_)[static_cast<std::size_t>(artifact->chain)]
                                .graph.node(artifact->node);
         const auto cost_cycles =
             nf::effective_cycle_cost(node.type, node.config);
@@ -542,7 +824,7 @@ void Testbed::to_server(net::Packet&& pkt, int server,
         } else {
           to_switch_.emplace_back(
               done + static_cast<std::uint64_t>(
-                         topo_.bounce_latency_us * 1000),
+                         topo_->bounce_latency_us * 1000),
               std::move(pkt));
         }
         return;
@@ -559,6 +841,11 @@ void Testbed::to_server(net::Packet&& pkt, int server,
 }
 
 void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
+  if (faults_ != nullptr && faults_->openflow_down(ready_ns)) {
+    count_fault_drop(pkt, net::HopPlatform::kOpenFlow, "openflow");
+    pool_.release(std::move(pkt));
+    return;
+  }
   if (!of_switch_) {
     count_drop(pkt, net::HopPlatform::kOpenFlow,
                telemetry::DropCause::kRoutingMiss);
@@ -573,7 +860,7 @@ void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
     return;
   }
   const metacompiler::OfArtifact* artifact = nullptr;
-  for (const auto& a : artifacts_.of_rules) {
+  for (const auto& a : artifacts_->of_rules) {
     if (a.spi_in == layers->nsh->spi && a.si_in == layers->nsh->si) {
       artifact = &a;
     }
@@ -598,7 +885,7 @@ void Testbed::through_openflow(net::Packet&& pkt, std::uint64_t ready_ns) {
   net::push_nsh(pkt, artifact->spi_out, artifact->si_out);
   const std::uint64_t out_ns =
       ready_ns + 2 * static_cast<std::uint64_t>(
-                         topo_.bounce_latency_us * 1000);
+                         topo_->bounce_latency_us * 1000);
   if (tracing_) {
     net::PacketHop hop;
     hop.platform = net::HopPlatform::kOpenFlow;
@@ -625,10 +912,10 @@ void Testbed::route_from_switch(net::Packet&& pkt,
     through_openflow(std::move(pkt), ready_ns);
     return;
   }
-  for (std::size_t s = 0; s < topo_.servers.size(); ++s) {
+  for (std::size_t s = 0; s < topo_->servers.size(); ++s) {
     if (egress_port == ports.server(static_cast<int>(s))) {
       const std::uint64_t bounce =
-          static_cast<std::uint64_t>(topo_.bounce_latency_us * 1000);
+          static_cast<std::uint64_t>(topo_->bounce_latency_us * 1000);
       to_server(std::move(pkt), static_cast<int>(s), ready_ns + bounce);
       return;
     }
@@ -681,7 +968,7 @@ void Testbed::sweep_module_drops() {
 }
 
 void Testbed::sweep_residuals(Measurement& out) {
-  out.chain_residual.assign(chains_.size(), 0);
+  out.chain_residual.assign(chains_->size(), 0);
   auto credit = [&](std::uint32_t aggregate, std::uint64_t n) {
     out.chain_residual[static_cast<std::size_t>(chain_of(aggregate))] += n;
     out.residual_queued += n;
@@ -723,7 +1010,7 @@ std::vector<telemetry::MeasuredNfProfile> Testbed::measured_nf_profiles()
       }
       const std::string instance = module->name().substr(
           static_cast<std::size_t>(consumed));
-      const auto& graph = chains_[static_cast<std::size_t>(chain)].graph;
+      const auto& graph = (*chains_)[static_cast<std::size_t>(chain)].graph;
       int node_id = -1;
       for (const auto& node : graph.nodes()) {
         if (node.instance_name == instance) {
@@ -754,7 +1041,7 @@ std::vector<telemetry::MeasuredNfProfile> Testbed::measured_nf_profiles()
   // measured profile is the charge itself, at the device's packet count.
   for (const auto& [server, rt] : nics_) {
     for (const auto* artifact : rt.artifacts) {
-      const auto& node = chains_[static_cast<std::size_t>(artifact->chain)]
+      const auto& node = (*chains_)[static_cast<std::size_t>(artifact->chain)]
                              .graph.node(artifact->node);
       telemetry::MeasuredNfProfile row;
       row.chain = artifact->chain;
@@ -778,13 +1065,13 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
 
   // Offered load: the LP assignment plus headroom, unless overridden.
   std::vector<RateShapedSource> sources;
-  for (std::size_t c = 0; c < chains_.size(); ++c) {
-    ChainTrafficModel model(chains_[c], seed_ + 100 + c, flow_mode_);
+  for (std::size_t c = 0; c < chains_->size(); ++c) {
+    ChainTrafficModel model((*chains_)[c], seed_ + 100 + c, flow_mode_);
     const double offered =
         c < offered_gbps.size()
             ? offered_gbps[c]
-            : std::min(placement_.chains[c].assigned_gbps * offered_headroom,
-                       chains_[c].slo.t_max_gbps);
+            : std::min(placement_->chains[c].assigned_gbps * offered_headroom,
+                       (*chains_)[c].slo.t_max_gbps);
     sources.emplace_back(std::move(model), offered);
   }
 
@@ -798,6 +1085,9 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
 
   while (now < drain_until) {
     const std::uint64_t quantum_end = now + kQuantumNs;
+    // 0. Fault onsets take effect at the quantum boundary (a dying
+    // server loses its resident packets immediately).
+    apply_fault_onsets(now);
     // 1. Inject fresh traffic (within the measurement window only).
     if (now < duration_ns) {
       for (std::size_t c = 0; c < sources.size(); ++c) {
@@ -805,7 +1095,6 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
         sources[c].emit_until(quantum_end, fresh, &pool_);
         for (auto& pkt : fresh) {
           const std::uint64_t t = pkt.arrival_ns;
-          ++out.offered_packets;
           ++offered_packets_[c];
           offered_bytes_[c] += pkt.size();
           to_switch_.emplace_back(t, std::move(pkt));
@@ -821,6 +1110,15 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
         later.emplace_back(ready, std::move(pkt));
         continue;
       }
+      // Admission control for shed chains: still offered, dropped at the
+      // ToR with an explicit degradation cause.
+      const int c = chain_of(pkt.aggregate_id);
+      if (shed_[static_cast<std::size_t>(c)] != 0) {
+        drop_ledger_.add(c, net::HopPlatform::kTor,
+                         telemetry::DropCause::kAdmissionShed);
+        pool_.release(std::move(pkt));
+        continue;
+      }
       const auto result = tor_->process(pkt);
       if (result.dropped) {
         count_drop(pkt, net::HopPlatform::kTor,
@@ -832,13 +1130,17 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
       route_from_switch(std::move(pkt), result.egress_port, ready);
     }
     to_switch_ = std::move(later);
-    // 3. Server dataplanes advance to the quantum boundary.
-    for (auto& rt : servers_) {
-      if (rt.dataplane) rt.dataplane->run_until_ns(quantum_end);
+    // 3. Server dataplanes advance to the quantum boundary (dead servers
+    // execute nothing).
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      auto& rt = servers_[s];
+      if (rt.dataplane && server_dead_[s] == 0) {
+        rt.dataplane->run_until_ns(quantum_end);
+      }
     }
     // 4. Server egress returns to the ToR after a bounce.
     const std::uint64_t bounce =
-        static_cast<std::uint64_t>(topo_.bounce_latency_us * 1000);
+        static_cast<std::uint64_t>(topo_->bounce_latency_us * 1000);
     for (auto& rt : servers_) {
       if (!rt.sink) continue;
       for (auto& [t, pkt] : rt.sink->drain()) {
@@ -846,23 +1148,29 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
       }
     }
     sample_queue_depths();
+    // 5. The recovery controller observes this quantum's telemetry and,
+    // when it decides to, swaps the plan in the gap between quanta.
+    if (recovery_ != nullptr) {
+      recovery_->on_quantum(*this, quantum_end);
+      if (!ok()) break;  // A swap's deploy() failed; abort the run.
+    }
     now = quantum_end;
   }
 
   sweep_module_drops();
   sweep_residuals(out);
 
-  out.chain_gbps.resize(chains_.size());
-  out.chain_latency_us.resize(chains_.size());
-  out.chain_p50_us.resize(chains_.size());
-  out.chain_p95_us.resize(chains_.size());
-  out.chain_p99_us.resize(chains_.size());
-  out.chain_max_us.resize(chains_.size());
-  out.chain_offered.resize(chains_.size());
-  out.chain_delivered.resize(chains_.size());
-  out.chain_dropped.resize(chains_.size());
-  std::vector<double> offered_gbps_v(chains_.size(), 0);
-  for (std::size_t c = 0; c < chains_.size(); ++c) {
+  out.chain_gbps.resize(chains_->size());
+  out.chain_latency_us.resize(chains_->size());
+  out.chain_p50_us.resize(chains_->size());
+  out.chain_p95_us.resize(chains_->size());
+  out.chain_p99_us.resize(chains_->size());
+  out.chain_max_us.resize(chains_->size());
+  out.chain_offered.resize(chains_->size());
+  out.chain_delivered.resize(chains_->size());
+  out.chain_dropped.resize(chains_->size());
+  std::vector<double> offered_gbps_v(chains_->size(), 0);
+  for (std::size_t c = 0; c < chains_->size(); ++c) {
     // bits / ns == Gbps.
     out.chain_gbps[c] = static_cast<double>(delivered_bytes_[c]) * 8.0 /
                         (duration_ms * 1e6);
@@ -880,6 +1188,7 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
       out.chain_max_us[c] = static_cast<double>(hist.max()) / 1e3;
     }
     out.chain_offered[c] = offered_packets_[c];
+    out.offered_packets += offered_packets_[c];
     out.chain_delivered[c] = delivered_packets_[c];
     out.chain_dropped[c] =
         drop_ledger_.chain_total(static_cast<int>(c));
@@ -898,7 +1207,7 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
   out.drops = drop_ledger_;
 
   // Finalize the metrics registry.
-  for (std::size_t c = 0; c < chains_.size(); ++c) {
+  for (std::size_t c = 0; c < chains_->size(); ++c) {
     const std::string prefix = "chain" + std::to_string(c);
     metrics_.counter(prefix + ".offered_packets").add(offered_packets_[c]);
     metrics_.counter(prefix + ".delivered_packets")
@@ -915,11 +1224,12 @@ Measurement Testbed::run(double duration_ms, double offered_headroom,
 
   // SLO compliance for the run.
   std::vector<const telemetry::LatencyHistogram*> hists;
-  hists.reserve(chains_.size());
+  hists.reserve(chains_->size());
   for (const auto& hist : latency_ns_) hists.push_back(&hist);
-  out.slo = telemetry::evaluate_slo(chains_, placement_, offered_gbps_v,
+  out.slo = telemetry::evaluate_slo(*chains_, *placement_, offered_gbps_v,
                                     out.chain_gbps, hists, traces_,
                                     drop_ledger_);
+  if (recovery_ != nullptr) out.recovery = recovery_->events();
   return out;
 }
 
@@ -936,10 +1246,10 @@ std::string Testbed::stats_json(const Measurement& m) const {
   w.kv("residual_queued", m.residual_queued);
   w.key("chains");
   w.begin_array();
-  for (std::size_t c = 0; c < chains_.size(); ++c) {
+  for (std::size_t c = 0; c < chains_->size(); ++c) {
     w.begin_object();
     w.kv("chain", static_cast<int>(c) + 1);
-    w.kv("name", chains_[c].name);
+    w.kv("name", (*chains_)[c].name);
     w.kv("gbps", c < m.chain_gbps.size() ? m.chain_gbps[c] : 0);
     w.kv("latency_mean_us",
          c < m.chain_latency_us.size() ? m.chain_latency_us[c] : 0);
@@ -1005,6 +1315,35 @@ std::string Testbed::stats_json(const Measurement& m) const {
     w.end_object();
   }
   w.end_array();
+
+  if (!m.recovery.empty()) {
+    w.key("recovery");
+    w.begin_array();
+    for (const auto& ev : m.recovery) {
+      w.begin_object();
+      w.kv("element", ev.element);
+      w.kv("action", ev.action);
+      w.kv("detected_ns", ev.detected_ns);
+      w.kv("recovered_ns", ev.recovered_ns);
+      w.kv("mttr_ns", ev.recovered_ns > ev.detected_ns
+                          ? ev.recovered_ns - ev.detected_ns
+                          : 0);
+      w.kv("fault_window_drops", ev.fault_window_drops);
+      w.kv("recovery_flush_drops", ev.recovery_flush_drops);
+      w.kv("slo_violation_ns", ev.slo_violation_ns);
+      w.kv("recovered", ev.recovered);
+      w.key("replaced_chains");
+      w.begin_array();
+      for (const int c : ev.replaced_chains) w.value(c + 1);
+      w.end_array();
+      w.key("shed_chains");
+      w.begin_array();
+      for (const int c : ev.shed_chains) w.value(c + 1);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
 
   w.key("trace_health");
   w.begin_object();

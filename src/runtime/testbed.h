@@ -31,6 +31,7 @@
 #include "src/nic/smartnic.h"
 #include "src/openflow/of_switch.h"
 #include "src/pisa/switch_sim.h"
+#include "src/runtime/faults.h"
 #include "src/runtime/traffic.h"
 #include "src/telemetry/drops.h"
 #include "src/telemetry/measured_profile.h"
@@ -39,6 +40,36 @@
 #include "src/telemetry/trace.h"
 
 namespace lemur::runtime {
+
+class Testbed;
+
+/// One detected fault and what the recovery controller did about it.
+/// All times are virtual nanoseconds; with a fixed seed the whole record
+/// is bit-identical across runs.
+struct RecoveryEvent {
+  std::string element;  ///< "server1", "smartnic0", "openflow", "link0", ...
+  std::string action;   ///< "replaced", "replaced+shed-chain-3",
+                        ///< "impairment-ride-through", "unrecovered: ..."
+  std::uint64_t detected_ns = 0;   ///< Telemetry spike observed.
+  std::uint64_t recovered_ns = 0;  ///< New plan live (or give-up time).
+  std::uint64_t fault_window_drops = 0;  ///< cause=fault drops attributed
+                                         ///< to this element at recovery.
+  std::uint64_t recovery_flush_drops = 0;  ///< In-flight flushed at swap.
+  std::uint64_t slo_violation_ns = 0;  ///< detected->recovered window.
+  bool recovered = false;
+  std::vector<int> replaced_chains;  ///< Chains the new plan re-placed.
+  std::vector<int> shed_chains;      ///< Chains admission-shed (degraded).
+};
+
+/// The Testbed consults this after every quantum; the recovery controller
+/// implements it. Kept abstract so runtime/testbed does not depend on the
+/// controller (which itself drives the placer + metacompiler).
+class RecoveryHook {
+ public:
+  virtual ~RecoveryHook() = default;
+  virtual void on_quantum(Testbed& testbed, std::uint64_t now_ns) = 0;
+  [[nodiscard]] virtual std::vector<RecoveryEvent> events() const = 0;
+};
 
 struct Measurement {
   std::vector<double> chain_gbps;     ///< Delivered rate per chain.
@@ -72,6 +103,10 @@ struct Measurement {
   /// Total packets still queued (wire FIFOs, BESS queues, ToR backlog)
   /// when the run ended.
   std::uint64_t residual_queued = 0;
+
+  /// Per-event recovery report (MTTR, failure-window loss, SLO-violation
+  /// duration) when a RecoveryHook was attached; empty otherwise.
+  std::vector<RecoveryEvent> recovery;
 
   /// Packets neither delivered nor counted as fabric drops: still queued
   /// at the end of the drain window, or consumed inside NF modules
@@ -157,6 +192,69 @@ class Testbed {
   /// Returns false if the file cannot be created.
   bool capture_egress_to(const std::string& path);
 
+  // --- Fault injection & live recovery ------------------------------------
+
+  /// Attaches a fault scheduler consulted every quantum (and per wire
+  /// packet for impairments). Not owned; must outlive run().
+  void set_fault_scheduler(FaultScheduler* faults) { faults_ = faults; }
+
+  /// Attaches a recovery hook called after every quantum. Not owned.
+  void set_recovery_hook(RecoveryHook* hook) { recovery_ = hook; }
+
+  /// Atomically replaces the running plan mid-run: exports stateful NF
+  /// state, flushes in-flight packets (charged cause=recovery-flush so
+  /// conservation holds), rebuilds ToR/servers/NICs/OF from the new
+  /// artifacts, and imports the state into the replacement instances.
+  /// The new references must outlive the testbed. Runs the deployment
+  /// verifier on the new plan first; returns false (and leaves the old
+  /// plan running) on verification failure.
+  bool swap_plan(const std::vector<chain::ChainSpec>& chains,
+                 const placer::PlacementResult& placement,
+                 const metacompiler::CompiledArtifacts& artifacts,
+                 const topo::Topology& topo, std::uint64_t now_ns,
+                 std::string* error = nullptr);
+
+  /// Admission-shed a chain at the ToR: its packets still count as
+  /// offered but are dropped on arrival with cause=admission-shed (the
+  /// degradation ladder's explicit ledger trail).
+  void set_chain_shed(int chain, bool shed);
+
+  /// Drop ledger accumulated so far (the recovery controller's detection
+  /// signal, live during run()).
+  [[nodiscard]] const telemetry::DropLedger& drop_ledger() const {
+    return drop_ledger_;
+  }
+
+  /// Packets flushed during swap_plan() calls so far.
+  [[nodiscard]] std::uint64_t recovery_flush_drops() const {
+    return recovery_flush_drops_;
+  }
+
+  /// Number of successful swap_plan() calls.
+  [[nodiscard]] int plan_generation() const { return plan_generation_; }
+
+  /// The plan currently live (post-swap these differ from the ctor args).
+  [[nodiscard]] const placer::PlacementResult& placement() const {
+    return *placement_;
+  }
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+  /// Per-(chain, node-id) state snapshots captured by the last
+  /// swap_plan() (tests verify migrated NAT/LB/Monitor/Dedup state).
+  [[nodiscard]] const std::map<std::pair<int, int>,
+                               std::vector<std::uint8_t>>&
+  last_exported_state() const {
+    return exported_state_;
+  }
+
+  /// Read access to a server's dataplane (state-migration tests inspect
+  /// NF modules); nullptr for out-of-range indices.
+  [[nodiscard]] const bess::ServerDataplane* server_dataplane(int s) const {
+    return s >= 0 && s < static_cast<int>(servers_.size())
+               ? servers_[static_cast<std::size_t>(s)].dataplane.get()
+               : nullptr;
+  }
+
  private:
   struct Endpoint {
     placer::Target target = placer::Target::kServer;
@@ -188,11 +286,32 @@ class Testbed {
   void build_servers(std::uint64_t seed);
   void build_nics();
   void build_openflow();
+  /// Verifies the current plan and builds the whole rack; sets error_ on
+  /// verifier errors. Shared by the ctor and swap_plan().
+  void deploy();
+
+  /// Marks newly-dead servers, flushing their wire FIFOs, queues, and
+  /// sinks as cause=fault drops.
+  void apply_fault_onsets(std::uint64_t now_ns);
+  /// Flushes every in-flight packet on (live) server `s`, charging
+  /// `cause`; `element` labels the per-element fault metrics counter
+  /// (nullptr = no per-element counter).
+  void flush_server(int s, telemetry::DropCause cause, const char* element);
+  /// Drop charged to an injected fault: ledger cause=fault plus the
+  /// per-element counter the controller uses to localize the failure.
+  void count_fault_drop(const net::Packet& pkt, net::HopPlatform platform,
+                        const std::string& element);
+  void export_nf_state();
+  void import_nf_state();
 
   void route_from_switch(net::Packet&& pkt, std::uint32_t egress_port,
                          std::uint64_t ready_ns);
   void deliver(net::Packet&& pkt, std::uint64_t ready_ns);
+  /// Fault interception (death, link-down, wire impairments), then
+  /// inject_server().
   void to_server(net::Packet&& pkt, int server, std::uint64_t ready_ns);
+  /// The actual SmartNIC + wire-FIFO hand-off, past the fault checks.
+  void inject_server(net::Packet&& pkt, int server, std::uint64_t ready_ns);
   void through_openflow(net::Packet&& pkt, std::uint64_t ready_ns);
 
   /// 0-based chain index for a packet's traffic aggregate.
@@ -212,13 +331,22 @@ class Testbed {
   void sweep_residuals(Measurement& out);
   void sample_queue_depths();
 
-  const std::vector<chain::ChainSpec>& chains_;
-  const placer::PlacementResult& placement_;
-  const metacompiler::CompiledArtifacts& artifacts_;
-  const topo::Topology& topo_;
+  // Pointers (not references) so swap_plan() can repoint the live plan.
+  const std::vector<chain::ChainSpec>* chains_;
+  const placer::PlacementResult* placement_;
+  const metacompiler::CompiledArtifacts* artifacts_;
+  const topo::Topology* topo_;
   FlowMode flow_mode_;
   std::uint64_t seed_;
   std::string error_;
+
+  FaultScheduler* faults_ = nullptr;
+  RecoveryHook* recovery_ = nullptr;
+  std::vector<char> server_dead_;  ///< Onset already applied (flushed).
+  std::vector<char> shed_;         ///< Admission-shed chains.
+  std::map<std::pair<int, int>, std::vector<std::uint8_t>> exported_state_;
+  std::uint64_t recovery_flush_drops_ = 0;
+  int plan_generation_ = 0;
 
   /// Declared before the runtimes that hold pointers into it.
   net::PacketPool pool_;

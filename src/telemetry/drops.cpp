@@ -7,6 +7,9 @@ const char* to_string(DropCause cause) {
     case DropCause::kQueueOverflow: return "queue-overflow";
     case DropCause::kNfVerdict: return "nf-verdict";
     case DropCause::kRoutingMiss: return "routing-miss";
+    case DropCause::kFault: return "fault";
+    case DropCause::kRecovery: return "recovery-flush";
+    case DropCause::kAdmissionShed: return "admission-shed";
   }
   return "?";
 }

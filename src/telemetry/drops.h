@@ -19,6 +19,12 @@ enum class DropCause : std::uint8_t {
   kQueueOverflow,  ///< Tail drop / engine backlog.
   kNfVerdict,      ///< An NF decided to discard (ACL deny, limiter, ...).
   kRoutingMiss,    ///< No route for the packet's (SPI, SI) / egress port.
+  kFault,          ///< Lost to an injected fault (dead element, link down,
+                   ///< corruption) — the failure-window loss the recovery
+                   ///< controller detects and the MTTR bench reports.
+  kRecovery,       ///< In-flight packet flushed during a dataplane swap.
+  kAdmissionShed,  ///< Chain admission-shed at the ToR by the degradation
+                   ///< ladder when the degraded rack is infeasible.
 };
 
 [[nodiscard]] const char* to_string(DropCause cause);

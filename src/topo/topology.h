@@ -42,6 +42,10 @@ struct ServerSpec {
   /// socket than the NIC (paper Table 4 shows ~4% same-vs-diff NUMA).
   double cross_numa_factor = 1.04;
   std::vector<NicSpec> nics = {NicSpec{}};
+  /// Marked by the recovery controller after a fault: a failed server
+  /// contributes zero cores and zero link capacity, and the deployment
+  /// verifier rejects any placement that still assigns NFs to it.
+  bool failed = false;
 
   [[nodiscard]] int total_cores() const { return sockets * cores_per_socket; }
   /// Packets per second one core sustains for a given cycles/packet cost.
@@ -71,6 +75,8 @@ struct SmartNicSpec {
   double speedup_vs_core = 10.0;
   int max_instructions = 4196;  ///< eBPF verifier program-size limit.
   int stack_bytes = 512;        ///< eBPF stack limit.
+  /// Marked failed after a fault; excluded from placement targets.
+  bool failed = false;
 };
 
 /// A fixed-table-order OpenFlow switch.
@@ -80,6 +86,8 @@ struct OpenFlowSwitchSpec {
   /// The fixed pipeline order of table types this ASIC supports.
   std::vector<std::string> table_order = {"port", "vlan", "mac", "ip", "acl"};
   int max_flow_entries = 4096;
+  /// Marked failed after a fault (link down); excluded from placement.
+  bool failed = false;
 };
 
 /// The full rack. Lemur's unit of placement.

@@ -762,6 +762,85 @@ void check_slo(const std::vector<chain::ChainSpec>& chains,
   }
 }
 
+/// After a fault the recovery controller marks elements failed; any plan
+/// that still assigns NFs (or subgroup cores) to them would deploy onto
+/// hardware that is gone.
+void check_failed_elements(const placer::PlacementResult& placement,
+                           const metacompiler::CompiledArtifacts& artifacts,
+                           const topo::Topology& topo, Report& report) {
+  auto server_failed = [&](int s) {
+    return s >= 0 && s < static_cast<int>(topo.servers.size()) &&
+           topo.servers[static_cast<std::size_t>(s)].failed;
+  };
+  auto nic_failed = [&](int n) {
+    return n >= 0 && n < static_cast<int>(topo.smartnics.size()) &&
+           topo.smartnics[static_cast<std::size_t>(n)].failed;
+  };
+  for (const auto& g : placement.subgroups) {
+    if (server_failed(g.server)) {
+      report.add(Severity::kError, "place.failed-element",
+                 "chain " + std::to_string(g.chain) + " subgroup",
+                 "assigned to failed server " + std::to_string(g.server));
+    }
+  }
+  for (const auto& a : placement.nic_nfs) {
+    if (nic_failed(a.smartnic)) {
+      report.add(Severity::kError, "place.failed-element",
+                 "chain " + std::to_string(a.chain) + " node " +
+                     std::to_string(a.node),
+                 "assigned to failed SmartNIC " +
+                     std::to_string(a.smartnic));
+    }
+  }
+  const bool of_failed =
+      topo.openflow.has_value() && topo.openflow->failed;
+  // A server-target node's authoritative server is its subgroup's (the
+  // NodePlacement.server field is only a fallback for nodes outside any
+  // subgroup, e.g. patterns that were never core-allocated).
+  auto node_server = [&](int chain, int node) {
+    for (const auto& g : placement.subgroups) {
+      if (g.chain != chain) continue;
+      if (std::find(g.nodes.begin(), g.nodes.end(), node) != g.nodes.end()) {
+        return g.server;
+      }
+    }
+    return placement.chains[static_cast<std::size_t>(chain)]
+        .nodes[static_cast<std::size_t>(node)]
+        .server;
+  };
+  for (std::size_t c = 0; c < placement.chains.size(); ++c) {
+    for (std::size_t n = 0; n < placement.chains[c].nodes.size(); ++n) {
+      const auto& np = placement.chains[c].nodes[n];
+      const bool hit =
+          (np.target == placer::Target::kServer &&
+           server_failed(node_server(static_cast<int>(c),
+                                     static_cast<int>(n)))) ||
+          (np.target == placer::Target::kSmartNic &&
+           nic_failed(np.smartnic)) ||
+          (np.target == placer::Target::kOpenFlow && of_failed);
+      if (hit) {
+        report.add(Severity::kError, "place.failed-element",
+                   "chain " + std::to_string(c) + " node " +
+                       std::to_string(n),
+                   std::string("assigned to failed ") +
+                       placer::to_string(np.target));
+      }
+    }
+  }
+  // Server plans must also be empty on failed servers (the metacompiler
+  // lays segments out per placement, but double-check the artifact).
+  for (std::size_t s = 0; s < artifacts.server_plans.size(); ++s) {
+    if (server_failed(static_cast<int>(s)) &&
+        !artifacts.server_plans[s].segments.empty()) {
+      report.add(Severity::kError, "place.failed-element",
+                 "server " + std::to_string(s),
+                 "BESS plan deploys " +
+                     std::to_string(artifacts.server_plans[s].segments.size()) +
+                     " segment(s) onto a failed server");
+    }
+  }
+}
+
 }  // namespace
 
 Report verify_artifacts(const std::vector<chain::ChainSpec>& chains,
@@ -783,6 +862,7 @@ Report verify_artifacts(const std::vector<chain::ChainSpec>& chains,
   check_p4(artifacts, topo, report);
   check_bess(chains, placement, artifacts, topo, report);
   check_slo(chains, placement, report);
+  check_failed_elements(placement, artifacts, topo, report);
   return report;
 }
 

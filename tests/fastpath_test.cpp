@@ -30,6 +30,76 @@ chain::ChainSpec make_spec(const std::string& source, double t_min,
   return spec;
 }
 
+// --- PacketPool hardening ----------------------------------------------------
+
+TEST(PacketPool, DoubleReleaseIsDetectedAndDiscarded) {
+  net::PacketPool pool;
+  net::Packet pkt = pool.acquire();
+  pkt.data.assign(64, 0xab);
+  pool.release(std::move(pkt));
+  EXPECT_EQ(pool.stats().recycled, 1u);
+  // Releasing the moved-from husk again must not corrupt the free list:
+  // debug builds assert, release builds count + discard.
+  EXPECT_DEBUG_DEATH(pool.release(std::move(pkt)),
+                     "PacketPool double release");
+#ifdef NDEBUG
+  // Under NDEBUG the macro ran the statement in-process: the duplicate
+  // was counted and discarded, and the free list was not corrupted.
+  EXPECT_EQ(pool.stats().double_release, 1u);
+  EXPECT_EQ(pool.free_size(), 1u);
+#endif
+}
+
+TEST(PacketPool, ReacquireClearsTheReleasedFlag) {
+  net::PacketPool pool;
+  net::Packet pkt = pool.acquire();
+  pool.release(std::move(pkt));
+  net::Packet again = pool.acquire();  // The recycled object.
+  EXPECT_EQ(pool.stats().reused, 1u);
+  pool.release(std::move(again));  // Must NOT look like a double release.
+  EXPECT_EQ(pool.stats().double_release, 0u);
+  EXPECT_EQ(pool.stats().recycled, 2u);
+}
+
+TEST(PacketPool, ExhaustionFallsBackToHeapAndIsCounted) {
+  net::PacketPool pool;
+  // Empty free list: every acquire is a heap fallback, counted both as
+  // an allocation and as an exhaustion event, and never fails.
+  net::Packet a = pool.acquire();
+  net::Packet b = pool.acquire();
+  EXPECT_EQ(pool.stats().allocated, 2u);
+  EXPECT_EQ(pool.stats().exhausted, 2u);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  net::Packet c = pool.acquire();  // Now a pool hit.
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(pool.stats().exhausted, 2u);
+  pool.release(std::move(c));
+}
+
+TEST(PacketPool, PreallocateWarmsTheFreeList) {
+  net::PacketPool pool;
+  pool.preallocate(8, 256);
+  EXPECT_EQ(pool.free_size(), 8u);
+  net::Packet pkt = pool.acquire();
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(pool.stats().exhausted, 0u);
+  EXPECT_GE(pkt.data.capacity(), 256u);
+  EXPECT_TRUE(pkt.data.empty());  // Reset, not carrying stale bytes.
+  pool.release(std::move(pkt));
+}
+
+TEST(PacketPool, DisabledPoolStillCountsAndNeverRecycles) {
+  net::PacketPool pool;
+  pool.set_enabled(false);
+  net::Packet pkt = pool.acquire();
+  EXPECT_EQ(pool.stats().allocated, 1u);
+  EXPECT_EQ(pool.stats().exhausted, 0u);  // Off is not exhaustion.
+  pool.release(std::move(pkt));
+  EXPECT_EQ(pool.stats().discarded, 1u);
+  EXPECT_EQ(pool.free_size(), 0u);
+}
+
 // --- Fast-path measurement parity -------------------------------------------
 
 runtime::Measurement run_rack(bool fast) {

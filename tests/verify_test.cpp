@@ -341,6 +341,41 @@ TEST(VerifierSlo, TminBeyondCapacityWarns) {
   EXPECT_FALSE(report.has_errors());
 }
 
+// --- Failed elements ----------------------------------------------------------
+
+TEST(VerifierFailedElement, PlanOntoFailedServerIsRejected) {
+  auto d = compile_canonical({2});
+  // Find a server the placement actually uses and mark it failed without
+  // re-placing — exactly the stale plan a recovery bug would deploy.
+  int used_server = -1;
+  for (const auto& g : d.placement.subgroups) used_server = g.server;
+  ASSERT_GE(used_server, 0);
+  d.topo.servers[static_cast<std::size_t>(used_server)].failed = true;
+  const auto report = d.verify();
+  const auto* finding = report.find("place.failed-element");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->severity, Severity::kError);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(VerifierFailedElement, PlanOntoFailedSmartNicIsRejected) {
+  // Chain 5 at delta 4 offloads FastEncrypt to the SmartNIC (fig 3b).
+  auto d = compile_canonical({5}, Extras::kSmartNic, 4.0);
+  ASSERT_FALSE(d.placement.nic_nfs.empty())
+      << "placement offloaded nothing to the SmartNIC";
+  d.topo.smartnics[0].failed = true;
+  const auto report = d.verify();
+  const auto* finding = report.find("place.failed-element");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->severity, Severity::kError);
+}
+
+TEST(VerifierFailedElement, CleanPlanOnHealthyRackDoesNotFire) {
+  auto d = compile_canonical({2});
+  const auto report = d.verify();
+  EXPECT_FALSE(report.fired("place.failed-element")) << report.to_string();
+}
+
 // --- Pipeline integration -----------------------------------------------------
 
 TEST(VerifierPipeline, MetacompilerVerifiesByDefault) {

@@ -8,6 +8,8 @@
 //   lemur_cli --chain 5 --smartnic --strategy optimal
 //   lemur_cli verify --chain 2 --delta 0.5
 //   lemur_cli stats --chain 1 --chain 3 --measure 10 --json out.json
+//   lemur_cli chaos --chain 3 --chain 5 --servers 2 --cores 8
+//             --seed 42 --faults "server:1@2;corrupt:0@1+1@0.25"
 //
 // Subcommands:
 //   verify           compile the placement's artifacts and print the
@@ -17,6 +19,14 @@
 //                    telemetry snapshot as JSON: per-chain percentiles,
 //                    SLO compliance report, drop attribution, per-hop
 //                    latency table, measured NF profiles, raw metrics
+//   chaos            deploy with a fault scheduler (--faults, grammar in
+//                    src/runtime/faults.h) and the live recovery
+//                    controller attached, run (default 10 ms), and emit
+//                    a JSON recovery report: per-event MTTR, loss, SLO
+//                    violation, re-placed/shed chains, conservation.
+//                    Exit 1 on any unrecovered fault or conservation
+//                    mismatch. --seed fixes the run (bit-identical
+//                    replay), --json writes the report to a file.
 //
 // Options:
 //   --spec FILE      chain spec file (dataflow language); repeatable
@@ -47,7 +57,9 @@
 #include "src/metacompiler/pisa_oracle.h"
 #include "src/pisa/p4_printer.h"
 #include "src/placer/placer.h"
+#include "src/runtime/recovery.h"
 #include "src/runtime/testbed.h"
+#include "src/telemetry/json.h"
 #include "src/verify/verifier.h"
 
 namespace {
@@ -73,6 +85,9 @@ struct CliOptions {
   bool print_bess = false;
   bool verify = false;
   bool stats = false;
+  bool chaos = false;
+  std::string fault_spec;
+  std::uint64_t seed = 7;
   std::string json_path;
   bool no_trace = false;
 };
@@ -108,6 +123,15 @@ int main(int argc, char** argv) {
       cli.verify = true;
     } else if (arg == "stats" && i == 1) {
       cli.stats = true;
+    } else if (arg == "chaos" && i == 1) {
+      cli.chaos = true;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cli.fault_spec = v;
+    } else if (arg == "--seed") {
+      cli.seed = static_cast<std::uint64_t>(
+          std::atoll(next() ? argv[i] : "7"));
     } else if (arg == "--json") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -221,9 +245,9 @@ int main(int argc, char** argv) {
   metacompiler::CompilerOracle oracle(topo);
   auto placement =
       placer::place(cli.strategy, chains, topo, options, oracle);
-  // `stats` with JSON on stdout keeps stdout machine-readable; the
-  // placement narrative would corrupt it.
-  const bool quiet = cli.stats && cli.json_path.empty();
+  // `stats`/`chaos` with JSON on stdout keep stdout machine-readable;
+  // the placement narrative would corrupt it.
+  const bool quiet = (cli.stats || cli.chaos) && cli.json_path.empty();
   if (!quiet) {
     std::printf("strategy %s on %zu chain(s), %d server(s) x %d cores%s%s\n",
                 placer::to_string(cli.strategy), chains.size(), cli.servers,
@@ -271,6 +295,134 @@ int main(int argc, char** argv) {
                 artifacts.nic_programs.size(), artifacts.of_rules.size());
     std::printf("%s", artifacts.verification.to_string().c_str());
     return artifacts.verification.has_errors() ? 1 : 0;
+  }
+
+  if (cli.chaos) {
+    if (cli.fault_spec.empty()) {
+      std::fprintf(stderr, "chaos requires --faults <spec> (grammar in "
+                           "src/runtime/faults.h)\n");
+      return 2;
+    }
+    if (cli.measure_ms <= 0) cli.measure_ms = 10.0;
+    std::string parse_error;
+    auto fault_events =
+        runtime::FaultScheduler::parse(cli.fault_spec, &parse_error);
+    if (!fault_events.has_value()) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", parse_error.c_str());
+      return 2;
+    }
+    auto artifacts = metacompiler::compile(chains, placement, topo);
+    if (!artifacts.ok) {
+      std::fprintf(stderr, "metacompiler error: %s\n",
+                   artifacts.error.c_str());
+      return 1;
+    }
+    runtime::FaultScheduler faults(*fault_events, cli.seed);
+    metacompiler::CompilerOracle recovery_oracle(topo);
+    runtime::RecoveryController controller(chains, placement, topo, options,
+                                           recovery_oracle);
+    runtime::Testbed testbed(chains, placement, artifacts, topo, cli.seed);
+    if (!testbed.ok()) {
+      std::fprintf(stderr, "deployment error: %s\n",
+                   testbed.error().c_str());
+      return 1;
+    }
+    testbed.set_fault_scheduler(&faults);
+    testbed.set_recovery_hook(&controller);
+    if (cli.no_trace) testbed.set_tracing(false);
+    auto m = testbed.run(cli.measure_ms);
+
+    bool ok = true;
+    std::string verdict;
+    for (const auto& ev : m.recovery) {
+      if (!ev.recovered) {
+        ok = false;
+        verdict += (verdict.empty() ? "" : "; ") + ev.element + " " +
+                   ev.action;
+      }
+    }
+    for (std::size_t c = 0; c < m.chain_offered.size(); ++c) {
+      if (m.chain_offered[c] != m.chain_delivered[c] + m.chain_dropped[c] +
+                                    m.chain_residual[c]) {
+        ok = false;
+        verdict += (verdict.empty() ? "" : "; ") + std::string("chain ") +
+                   std::to_string(c + 1) + " conservation mismatch";
+      }
+    }
+
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.kv("report", "chaos");
+    w.kv("seed", cli.seed);
+    w.kv("faults", cli.fault_spec);
+    w.kv("duration_ms", cli.measure_ms);
+    w.kv("plan_generations", testbed.plan_generation());
+    w.key("events");
+    w.begin_array();
+    for (const auto& ev : m.recovery) {
+      w.begin_object();
+      w.kv("element", ev.element);
+      w.kv("action", ev.action);
+      w.kv("detected_ns", ev.detected_ns);
+      w.kv("recovered_ns", ev.recovered_ns);
+      w.kv("mttr_ns", ev.recovered_ns - ev.detected_ns);
+      w.kv("fault_window_drops", ev.fault_window_drops);
+      w.kv("recovery_flush_drops", ev.recovery_flush_drops);
+      w.kv("slo_violation_ns", ev.slo_violation_ns);
+      w.kv("recovered", ev.recovered);
+      w.key("replaced_chains");
+      w.begin_array();
+      for (int c : ev.replaced_chains) w.value(c + 1);
+      w.end_array();
+      w.key("shed_chains");
+      w.begin_array();
+      for (int c : ev.shed_chains) w.value(c + 1);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("chains");
+    w.begin_array();
+    for (std::size_t c = 0; c < m.chain_offered.size(); ++c) {
+      w.begin_object();
+      w.kv("chain", static_cast<int>(c) + 1);
+      w.kv("offered", m.chain_offered[c]);
+      w.kv("delivered", m.chain_delivered[c]);
+      w.kv("dropped", m.chain_dropped[c]);
+      w.kv("residual", m.chain_residual[c]);
+      w.kv("fault_drops", m.drops.cause_total(
+                              static_cast<int>(c),
+                              telemetry::DropCause::kFault));
+      w.kv("recovery_flush_drops",
+           m.drops.cause_total(static_cast<int>(c),
+                               telemetry::DropCause::kRecovery));
+      w.kv("admission_shed_drops",
+           m.drops.cause_total(static_cast<int>(c),
+                               telemetry::DropCause::kAdmissionShed));
+      w.kv("shed", controller.shed_chains().count(static_cast<int>(c)) != 0);
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("pass", ok);
+    if (!ok) w.kv("verdict", verdict);
+    w.end_object();
+    const std::string json = w.str();
+    if (!cli.json_path.empty()) {
+      std::ofstream out(cli.json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open '%s'\n", cli.json_path.c_str());
+        return 1;
+      }
+      out << json << '\n';
+      std::printf("chaos report written to %s (%s)\n",
+                  cli.json_path.c_str(), ok ? "PASS" : "FAIL");
+    } else {
+      std::printf("%s\n", json.c_str());
+    }
+    if (!ok) {
+      std::fprintf(stderr, "CHAOS FAIL: %s\n", verdict.c_str());
+    }
+    return ok ? 0 : 1;
   }
 
   if (cli.stats && cli.measure_ms <= 0) cli.measure_ms = 5.0;
